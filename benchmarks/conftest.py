@@ -1,0 +1,46 @@
+"""Shared benchmark fixtures and table-printing helpers.
+
+Each benchmark regenerates one table or figure of the paper.  The
+experiment body runs once (they are deterministic); pytest-benchmark
+times it, and the resulting rows are printed outside pytest's capture
+so ``pytest benchmarks/ --benchmark-only`` shows them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.traces import cellular_profiles
+
+
+@pytest.fixture(scope="session")
+def profiles():
+    """The 14 cellular profiles at full 600 s length (Figure 3 inputs)."""
+    return cellular_profiles(600)
+
+
+@pytest.fixture()
+def show(capsys):
+    """Print a table outside pytest's output capture."""
+
+    def _show(title: str, headers: list[str], rows: list[list]):
+        with capsys.disabled():
+            print()
+            print(f"== {title} ==")
+            widths = [
+                max(len(str(header)), *(len(str(row[i])) for row in rows))
+                if rows else len(str(header))
+                for i, header in enumerate(headers)
+            ]
+            line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+            print(line)
+            print("-" * len(line))
+            for row in rows:
+                print("  ".join(str(v).ljust(w) for v, w in zip(row, widths)))
+
+    return _show
+
+
+def once(benchmark, fn):
+    """Run an experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

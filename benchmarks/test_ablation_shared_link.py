@@ -1,0 +1,60 @@
+"""Ablation: concurrent players on one cellular link (fairness).
+
+The paper cites FESTIVE [31] — improving fairness between concurrent
+HAS clients — as related work.  This ablation quantifies the problem in
+the testbed: identical clients share a link roughly fairly, while an
+aggressive client (D3) starves a conservative one (D2) on the same
+bottleneck.
+"""
+
+from repro.core.multi import run_shared_link
+from repro.net.schedule import ConstantSchedule
+from repro.util import mbps
+
+from benchmarks.conftest import once
+
+
+def test_ablation_shared_link(benchmark, show):
+    def run():
+        return {
+            "H6 + H6 @ 6 Mbps": run_shared_link(
+                ["H6", "H6"], ConstantSchedule(mbps(6)), duration_s=300.0,
+            ),
+            "D3 + D2 @ 4 Mbps": run_shared_link(
+                ["D3", "D2"], ConstantSchedule(mbps(4)), duration_s=300.0,
+            ),
+            "H1 + H4 @ 5 Mbps": run_shared_link(
+                ["H1", "H4"], ConstantSchedule(mbps(5)), duration_s=300.0,
+            ),
+        }
+
+    scenarios = once(benchmark, run)
+
+    rows = []
+    for label, clients in scenarios.items():
+        for client in clients:
+            rows.append([
+                label,
+                client.service_name,
+                f"{client.qoe.average_displayed_bitrate_bps/1e6:6.2f}",
+                f"{client.qoe.total_stall_s:6.1f}",
+                f"{client.qoe.total_bytes/1e6:7.0f}",
+            ])
+    show(
+        "Ablation: concurrent clients sharing one link",
+        ["scenario", "client", "bitrate Mbps", "stall s", "MB"],
+        rows,
+    )
+
+    identical = scenarios["H6 + H6 @ 6 Mbps"]
+    ratio = (identical[0].qoe.average_displayed_bitrate_bps
+             / identical[1].qoe.average_displayed_bitrate_bps)
+    assert 0.6 < ratio < 1.6, "identical clients should share roughly fairly"
+
+    mixed = scenarios["D3 + D2 @ 4 Mbps"]
+    assert mixed[0].qoe.average_displayed_bitrate_bps > \
+        mixed[1].qoe.average_displayed_bitrate_bps, \
+        "the aggressive client should take the larger share"
+    for clients in scenarios.values():
+        for client in clients:
+            assert client.qoe.startup_delay_s is not None

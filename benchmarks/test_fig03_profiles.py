@@ -1,0 +1,39 @@
+"""Figure 3: the 14 collected cellular network bandwidth profiles.
+
+Regenerates the profile set and prints per-profile statistics.  The
+paper's figure is a bar chart of average bandwidth per profile, sorted
+ascending from well under 1 Mbps to ~40 Mbps.
+"""
+
+from repro.net.traces import cellular_profiles
+from repro.util import to_mbps
+
+from benchmarks.conftest import once
+
+
+def test_fig03_cellular_profiles(benchmark, show):
+    profiles = once(benchmark, lambda: cellular_profiles(600))
+
+    rows = []
+    for trace in profiles:
+        samples = trace.samples_bps
+        mean = trace.average_bps
+        std = (sum((s - mean) ** 2 for s in samples) / len(samples)) ** 0.5
+        rows.append([
+            trace.profile_id,
+            trace.scenario.value,
+            f"{to_mbps(mean):7.2f}",
+            f"{to_mbps(trace.min_bps):7.2f}",
+            f"{to_mbps(trace.max_bps):7.2f}",
+            f"{std / mean:5.2f}",
+        ])
+    show(
+        "Figure 3: cellular bandwidth profiles (600 s @ 1 Hz)",
+        ["profile", "scenario", "avg Mbps", "min", "max", "cv"],
+        rows,
+    )
+
+    averages = [trace.average_bps for trace in profiles]
+    assert averages == sorted(averages), "profiles must sort by average"
+    assert to_mbps(averages[0]) < 0.5
+    assert to_mbps(averages[-1]) > 30

@@ -1,0 +1,41 @@
+"""Figure 4: declared bitrates of tracks for the 12 services.
+
+The paper's figure scatters each service's track ladder.  We print the
+ladders plus the derived properties the text calls out: highest track
+2-5.5 Mbps, lowest track above 500 kbps for three services, adjacent
+spacing within the 1.5-2x guideline.
+"""
+
+from repro.services import ALL_SERVICE_NAMES, get_service
+
+from benchmarks.conftest import once
+
+
+def test_fig04_track_ladders(benchmark, show):
+    def collect():
+        return {name: get_service(name) for name in ALL_SERVICE_NAMES}
+
+    specs = once(benchmark, collect)
+
+    rows = []
+    for name, spec in specs.items():
+        ladder = spec.ladder_kbps
+        spacing = max(high / low for low, high in zip(ladder, ladder[1:]))
+        rows.append([
+            name,
+            " ".join(str(int(rate)) for rate in ladder),
+            int(spec.lowest_track_kbps),
+            f"{spec.highest_track_kbps / 1000:.1f}",
+            f"{spacing:.2f}",
+        ])
+    show(
+        "Figure 4: declared track bitrates per service (kbps)",
+        ["service", "ladder", "lowest", "highest Mbps", "max spacing"],
+        rows,
+    )
+
+    high_bottom = {name for name, spec in specs.items()
+                   if spec.lowest_track_kbps > 500}
+    assert high_bottom == {"H2", "H5", "S1"}
+    for spec in specs.values():
+        assert 2000 <= spec.highest_track_kbps <= 5500

@@ -1,0 +1,50 @@
+"""Figure 7: S2's 4 s resuming threshold leads to stalls.
+
+Compares S2 against (a) services with higher resume thresholds under
+the same traces and (b) an S2 variant whose only change is a 20 s
+resume threshold — the paper's suggested practical fix.
+"""
+
+import dataclasses
+
+from repro.core.session import run_session
+from repro.net.traces import generate_trace
+from repro.services import get_service
+
+from benchmarks.conftest import once
+
+
+def test_fig07_s2_resume_threshold(benchmark, show):
+    def run():
+        spec = get_service("S2")
+        fixed = dataclasses.replace(spec, name="S2+resume20",
+                                    resuming_threshold_s=20.0)
+        rows = []
+        for profile_id in (2, 3, 4):
+            trace = generate_trace(profile_id, 600)
+            s2 = run_session(spec, trace, duration_s=600.0)
+            d4 = run_session("D4", trace, duration_s=600.0)
+            s2_fixed = run_session(fixed, trace, duration_s=600.0)
+            rows.append((
+                profile_id,
+                s2.qoe.stall_count, s2.qoe.total_stall_s,
+                d4.qoe.stall_count, d4.qoe.total_stall_s,
+                s2_fixed.qoe.stall_count, s2_fixed.qoe.total_stall_s,
+            ))
+        return rows
+
+    results = once(benchmark, run)
+
+    show(
+        "Figure 7: stalls from S2's 4 s resume threshold",
+        ["profile", "S2 stalls", "S2 stall s", "D4 stalls", "D4 stall s",
+         "S2-fixed stalls", "S2-fixed stall s"],
+        [[pid, sc, f"{ss:.0f}", dc, f"{ds:.0f}", fc, f"{fs:.0f}"]
+         for pid, sc, ss, dc, ds, fc, fs in results],
+    )
+
+    s2_stalls = sum(sc for _, sc, _, _, _, _, _ in results)
+    d4_stalls = sum(dc for _, _, _, dc, _, _, _ in results)
+    fixed_stalls = sum(fc for _, _, _, _, _, fc, _ in results)
+    assert s2_stalls > d4_stalls, "S2 must stall more than D4"
+    assert fixed_stalls < s2_stalls, "raising the threshold must help"

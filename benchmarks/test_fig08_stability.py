@@ -1,0 +1,55 @@
+"""Figure 8: D1's selected track does not stabilize at constant 500 kbps.
+
+Prints D1's per-segment track selection over time (the figure's series)
+against a stable reference service, and the steady-state switch counts.
+"""
+
+from repro.core.session import run_session
+from repro.media.track import StreamType
+from repro.net.schedule import ConstantSchedule
+from repro.util import kbps
+
+from benchmarks.conftest import once
+
+
+def _selection_series(name):
+    result = run_session(name, ConstantSchedule(kbps(500)), duration_s=300.0,
+                         content_duration_s=500.0)
+    downloads = result.analyzer.media_downloads(StreamType.VIDEO)
+    steady = [d for d in downloads if d.completed_at > 120.0]
+    levels = [d.level for d in steady]
+    switches = sum(1 for a, b in zip(levels, levels[1:]) if a != b)
+    nonconsecutive = sum(
+        1 for a, b in zip(levels, levels[1:]) if abs(a - b) > 1
+    )
+    timeline = [(round(d.completed_at), d.level) for d in downloads]
+    return {
+        "timeline": timeline,
+        "distinct": len(set(levels)),
+        "switches": switches,
+        "nonconsecutive": nonconsecutive,
+    }
+
+
+def test_fig08_d1_instability(benchmark, show):
+    def run():
+        return {name: _selection_series(name) for name in ("D1", "H6", "D2")}
+
+    results = once(benchmark, run)
+
+    rows = [
+        [name, r["distinct"], r["switches"], r["nonconsecutive"],
+         " ".join(str(level) for _, level in r["timeline"][-30:])]
+        for name, r in results.items()
+    ]
+    show(
+        "Figure 8: track selection at constant 500 kbps (steady state)",
+        ["service", "distinct levels", "switches", "non-consec",
+         "last 30 selections"],
+        rows,
+    )
+
+    assert results["D1"]["switches"] >= 5
+    assert results["D1"]["distinct"] >= 3
+    assert results["H6"]["switches"] <= 2
+    assert results["D2"]["switches"] <= 2

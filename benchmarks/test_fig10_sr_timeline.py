@@ -1,0 +1,58 @@
+"""Figure 10: H4's SR cascade, including non-upgrading replacements.
+
+Reproduces the figure's scenario: the buffer fills during a dip, a
+recovery triggers the tail-discard cascade, and a crash mid-cascade
+makes H4 redownload segments at equal or *lower* quality than what it
+discarded — the paper's core evidence that H4 "does not consider the
+track of segments in the buffer".
+"""
+
+from repro.analysis.whatif import analyze_segment_replacement
+from repro.core.session import run_session
+from repro.net.schedule import StepSchedule
+from repro.util import kbps, mbps
+
+from benchmarks.conftest import once
+
+
+def test_fig10_h4_sr_timeline(benchmark, show):
+    def run():
+        schedule = StepSchedule(
+            steps=((0.0, mbps(6)), (80.0, kbps(900)), (180.0, mbps(4)),
+                   (195.0, kbps(350)))
+        )
+        result = run_session("H4", schedule, duration_s=420.0,
+                             content_duration_s=800.0)
+        whatif = analyze_segment_replacement(result.analyzer.downloads,
+                                             result.ui)
+        stalls = [(i.start_at, i.duration_s)
+                  for i in result.ui.stall_intervals()]
+        return whatif, stalls
+
+    whatif, stalls = once(benchmark, run)
+
+    rows = [
+        [f"{event.at:7.1f}", event.index, event.old_level, event.new_level,
+         event.comparison, f"{event.size_bytes/1024:7.1f}"]
+        for event in whatif.replacements
+    ]
+    show(
+        "Figure 10: H4 replacement cascade (dip -> recovery -> crash)",
+        ["t (s)", "segment", "old level", "new level", "quality",
+         "wasted KiB"],
+        rows,
+    )
+    show(
+        "Figure 10: stalls during the run",
+        ["start (s)", "duration (s)"],
+        [[f"{at:.0f}", f"{duration:.0f}"] for at, duration in stalls] or
+        [["-", "-"]],
+    )
+
+    assert whatif.sr_detected
+    comparisons = {event.comparison for event in whatif.replacements}
+    assert "higher" in comparisons
+    assert comparisons & {"equal", "lower"}, \
+        "cascade must produce non-upgrading replacements"
+    # the cascade is contiguous (the deque signature)
+    assert max(whatif.replaced_run_lengths) >= 4

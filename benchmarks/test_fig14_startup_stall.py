@@ -1,0 +1,60 @@
+"""Figure 14: H3 stalls soon after starting to play.
+
+At a bandwidth just below H3's ~1.05 Mbps startup track, H3 starts
+after a single 9 s segment, keeps the startup track for the second
+segment, and stalls; H2 (4 x 2 s startup segments, quick adaptation)
+plays cleanly at the same bandwidth.
+"""
+
+from repro.core.session import run_session
+from repro.media.track import StreamType
+from repro.net.schedule import ConstantSchedule
+from repro.util import kbps
+
+from benchmarks.conftest import once
+
+
+def test_fig14_h3_startup_stall(benchmark, show):
+    def run():
+        schedule = ConstantSchedule(kbps(800))
+        out = {}
+        for name in ("H3", "H2"):
+            result = run_session(name, schedule, duration_s=120.0,
+                                 content_duration_s=300.0)
+            downloads = result.analyzer.media_downloads(StreamType.VIDEO)
+            out[name] = {
+                "startup": result.qoe.startup_delay_s,
+                "early_stalls": [
+                    (interval.start_at, interval.duration_s)
+                    for interval in result.ui.stall_intervals()
+                    if interval.start_at < 60.0
+                ],
+                "first_tracks": [
+                    (round(d.completed_at, 1),
+                     round(d.declared_bitrate_bps / 1e3))
+                    for d in downloads[:4]
+                ],
+            }
+        return out
+
+    results = once(benchmark, run)
+
+    rows = []
+    for name, data in results.items():
+        stalls = "; ".join(f"t={at:.0f}s {duration:.0f}s"
+                           for at, duration in data["early_stalls"]) or "none"
+        tracks = " ".join(f"{kbps_}k@{at}s"
+                          for at, kbps_ in data["first_tracks"])
+        rows.append([name, f"{data['startup']:.0f}s", stalls, tracks])
+    show(
+        "Figure 14: startup behaviour at a constant 800 kbps link",
+        ["service", "startup delay", "early stalls",
+         "first downloads (track@time)"],
+        rows,
+    )
+
+    assert results["H3"]["early_stalls"], "H3 must stall early"
+    assert not results["H2"]["early_stalls"], "H2 must not stall"
+    # H3's first two downloads are its 1.05 Mbps startup track.
+    h3_first = [kbps_ for _, kbps_ in results["H3"]["first_tracks"][:2]]
+    assert all(value == 1050 for value in h3_first)

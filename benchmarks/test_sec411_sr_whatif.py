@@ -1,0 +1,67 @@
+"""Section 4.1.1: cost/benefit of SR as implemented by H4 (and H1).
+
+Runs H4 over the 14 cellular profiles and performs the paper's what-if
+analysis (keep only the first download of each index to emulate no-SR).
+Paper reference points: median data increase 25.66 % (5 profiles above
+75 %), median bitrate improvement 3.66 %, 21.31 % / 6.50 % of
+replacements lower/equal quality, 90th-percentile contiguous run of 6.
+"""
+
+from statistics import median
+
+from repro.analysis.whatif import analyze_segment_replacement
+from repro.core.session import run_session
+
+from benchmarks.conftest import once
+
+
+def test_sec411_h4_sr_whatif(benchmark, show, profiles):
+    def run():
+        rows = []
+        for trace in profiles:
+            result = run_session("H4", trace, duration_s=600.0)
+            whatif = analyze_segment_replacement(result.analyzer.downloads,
+                                                 result.ui)
+            rows.append((trace.profile_id, whatif))
+        return rows
+
+    results = once(benchmark, run)
+
+    rows = []
+    for profile_id, whatif in results:
+        rows.append([
+            profile_id,
+            len(whatif.replacements),
+            f"{whatif.data_increase_fraction:6.1%}",
+            f"{whatif.bitrate_improvement_fraction:6.1%}",
+            f"{whatif.fraction_replacements('lower'):5.1%}",
+            f"{whatif.fraction_replacements('equal'):5.1%}",
+            max(whatif.replaced_run_lengths, default=0),
+        ])
+    show(
+        "Section 4.1.1: H4 segment replacement, what-if vs no-SR",
+        ["profile", "repl", "data +", "bitrate +", "lower", "equal",
+         "max run"],
+        rows,
+    )
+
+    whatifs = [w for _, w in results]
+    data_increases = [w.data_increase_fraction for w in whatifs]
+    bitrate_gains = [w.bitrate_improvement_fraction for w in whatifs]
+    with_sr = [w for w in whatifs if w.sr_detected]
+
+    assert with_sr, "H4 must perform SR on fluctuating profiles"
+    # Shape targets (direction + rough factor, not exact numbers):
+    # data usage inflates substantially more than quality improves...
+    assert median(data_increases) > 0.05
+    assert median(data_increases) > median(bitrate_gains)
+    # ...several profiles see very large data increases,
+    assert sum(1 for d in data_increases if d > 0.5) >= 3
+    # ...and a noticeable share of replacements are not upgrades.
+    lossy = [
+        w.fraction_replacements("lower") + w.fraction_replacements("equal")
+        for w in with_sr
+    ]
+    assert sum(lossy) / len(lossy) > 0.05
+    # contiguous cascades happen (the deque tail-discard signature)
+    assert max(max(w.replaced_run_lengths, default=0) for w in with_sr) >= 5

@@ -1,0 +1,75 @@
+"""Section 4.1.3 (quality-capped SR): only replace segments <= 720p.
+
+The paper tests the three profiles with the most SR waste: capping
+reduces wasted data by ~44 % on average while the time spent above
+720p stays similar.
+"""
+
+from repro.analysis.whatif import analyze_segment_replacement
+from repro.core.session import run_session
+from repro.services import exoplayer_config
+from repro.services import testcard_dash_spec as make_testcard_spec
+
+from benchmarks.conftest import once
+
+
+def test_sec413_quality_capped_sr(benchmark, show, profiles):
+    def run():
+        spec = make_testcard_spec()
+        # Find the three most wasteful profiles under improved SR.
+        waste = []
+        sessions = {}
+        for trace in profiles:
+            improved = run_session(spec, trace, duration_s=600.0,
+                                   player_config=exoplayer_config(
+                                       sr="improved"))
+            whatif = analyze_segment_replacement(
+                improved.analyzer.downloads, improved.ui)
+            waste.append((whatif.wasted_bytes, trace))
+            sessions[trace.profile_id] = (improved, whatif)
+        waste.sort(key=lambda item: -item[0])
+        worst = [trace for _, trace in waste[:3]]
+        rows = []
+        for trace in worst:
+            improved, w_improved = sessions[trace.profile_id]
+            capped = run_session(spec, trace, duration_s=600.0,
+                                 player_config=exoplayer_config(sr="capped"))
+            w_capped = analyze_segment_replacement(
+                capped.analyzer.downloads, capped.ui)
+            rows.append((trace.profile_id, improved.qoe, w_improved,
+                         capped.qoe, w_capped))
+        return rows
+
+    results = once(benchmark, run)
+
+    table = []
+    reductions = []
+    for profile_id, improved, w_improved, capped, w_capped in results:
+        if w_improved.wasted_bytes:
+            reductions.append(
+                1.0 - w_capped.wasted_bytes / w_improved.wasted_bytes
+            )
+        high_improved = 1.0 - improved.fraction_at_or_below_height(720)
+        high_capped = 1.0 - capped.fraction_at_or_below_height(720)
+        table.append([
+            profile_id,
+            f"{w_improved.wasted_bytes/1e6:7.1f}",
+            f"{w_capped.wasted_bytes/1e6:7.1f}",
+            f"{high_improved:5.1%}",
+            f"{high_capped:5.1%}",
+        ])
+    show(
+        "Section 4.1.3: 720p-capped SR on the 3 most wasteful profiles",
+        ["profile", "waste MB (improved)", "waste MB (capped)",
+         ">720p time (improved)", ">720p time (capped)"],
+        table,
+    )
+
+    assert reductions, "improved SR must waste some data to compare"
+    average_reduction = sum(reductions) / len(reductions)
+    assert average_reduction > 0.1, "capping must reduce waste"
+    # high-quality playtime stays similar (within 15 percentage points)
+    for profile_id, improved, _, capped, _ in results:
+        high_improved = 1.0 - improved.fraction_at_or_below_height(720)
+        high_capped = 1.0 - capped.fraction_at_or_below_height(720)
+        assert abs(high_improved - high_capped) < 0.15

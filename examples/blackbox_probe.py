@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Reverse-engineer a service's design with black-box probes.
+
+Treats a service model exactly like the paper treated a commercial app:
+no access to its configuration, only a proxy in the middle.  Recovers
+the Table 1 column for the service — startup buffer, startup track,
+download-control thresholds, adaptation stability and aggressiveness —
+purely from probing.
+
+Run:
+    python examples/blackbox_probe.py [SERVICE]
+"""
+
+import sys
+
+from repro.blackbox import (
+    probe_convergence,
+    probe_download_thresholds,
+    probe_startup_buffer,
+    probe_step_response,
+)
+from repro.core.session import run_session
+from repro.net.schedule import ConstantSchedule
+from repro.util import kbps, mbps, to_kbps
+
+
+def main() -> None:
+    service = sys.argv[1] if len(sys.argv) > 1 else "H4"
+    print(f"Black-box probing service {service} "
+          f"(no access to its configuration)\n")
+
+    print("1. Passive capture: protocol and transport facts")
+    capture = run_session(service, ConstantSchedule(mbps(6)),
+                          duration_s=90.0, content_duration_s=90.0)
+    analyzer = capture.analyzer
+    stats = analyzer.connection_stats(capture.proxy.flows)
+    print(f"   protocol          : "
+          f"{analyzer.protocol.value if analyzer.protocol else 'unknown'}"
+          f"{' (encrypted manifest, used sidx)' if analyzer.encrypted_manifest_seen else ''}")
+    print(f"   separate audio    : {analyzer.has_separate_audio}")
+    print(f"   segment duration  : {analyzer.segment_duration_s():.0f} s")
+    ladder = ", ".join(f"{to_kbps(b):.0f}k"
+                       for b in analyzer.declared_bitrates_bps())
+    print(f"   video ladder      : {ladder}")
+    print(f"   TCP connections   : {stats['distinct_connections']} "
+          f"({'persistent' if stats['persistent'] else 'non-persistent'})")
+
+    print("\n2. Startup probe (reject requests after the first n segments)")
+    startup = probe_startup_buffer(service)
+    print(f"   startup buffer    : {startup.startup_buffer_s:.0f} s "
+          f"({startup.startup_segments} segments)")
+    print(f"   startup track     : "
+          f"{to_kbps(startup.startup_track_declared_bps or 0):.0f} kbps")
+
+    print("\n3. Download-control probe (on-off pattern at 10 Mbps)")
+    thresholds = probe_download_thresholds(service)
+    print(f"   pausing threshold : ~{thresholds.pausing_threshold_s:.0f} s")
+    print(f"   resuming threshold: ~{thresholds.resuming_threshold_s:.0f} s")
+    print(f"   observed cycles   : {thresholds.cycle_count}")
+
+    print("\n4. Convergence probe (constant 2 Mbps)")
+    convergence = probe_convergence(service, mbps(2.0))
+    print(f"   stable            : {convergence.stable} "
+          f"({convergence.steady_switches} steady-state switches)")
+    print(f"   converged declared: "
+          f"{to_kbps(convergence.modal_declared_bps or 0):.0f} kbps "
+          f"({convergence.aggressiveness:.2f}x of bandwidth)")
+
+    print("\n5. Step probe (5 Mbps -> 0.5 Mbps at t=240 s)")
+    step = probe_step_response(service, high_bps=mbps(5), low_bps=kbps(500),
+                               step_at_s=240.0, duration_s=540.0)
+    if step.downswitch_at is None:
+        print("   no down-switch observed")
+    else:
+        kind = ("IMMEDIATELY, despite a high buffer"
+                if step.immediate_downswitch
+                else "only after draining the buffer")
+        print(f"   down-switched {kind}")
+        print(f"   buffer at switch  : {step.buffer_at_downswitch_s:.0f} s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Cross-sectional service comparison (the paper's core methodology).
+
+Runs all 12 service models over a set of cellular profiles, computes
+QoE from the measurement-side views, and prints a comparison table plus
+the issues the best-practice detectors find — a compact rendition of
+the paper's Tables 1/2 workflow.
+
+Run:
+    python examples/compare_services.py [DURATION_S] [PROFILE_IDS...]
+"""
+
+import sys
+
+from repro import ALL_SERVICE_NAMES, cellular_profiles, run_session
+from repro.analysis.qoemodel import score_session
+from repro.core.bestpractices import diagnose_service, recommendations_for
+from repro.core.experiment import ProfileRun, summarize_runs
+
+
+def main() -> None:
+    duration = float(sys.argv[1]) if len(sys.argv) > 1 else 300.0
+    profile_ids = [int(arg) for arg in sys.argv[2:]] or [2, 5, 8]
+
+    profiles = cellular_profiles(int(duration))
+    selected = [profiles[pid - 1] for pid in profile_ids]
+    print(f"Comparing {len(ALL_SERVICE_NAMES)} services over profiles "
+          f"{profile_ids} ({duration:.0f} s sessions)\n")
+
+    header = (f"{'svc':4} {'bitrate Mbps':>12} {'startup s':>10} "
+              f"{'stall s':>8} {'stall runs':>10} {'switch/min':>10} "
+              f"{'MB':>7} {'QoE':>7}")
+    print(header)
+    print("-" * len(header))
+
+    all_findings = {}
+    for name in ALL_SERVICE_NAMES:
+        runs = []
+        findings = set()
+        scores = []
+        for trace in selected:
+            result = run_session(name, trace, duration_s=duration)
+            runs.append(ProfileRun(service_name=name,
+                                   profile_id=trace.profile_id,
+                                   repetition=0, result=result))
+            findings.update(f.issue for f in diagnose_service(result))
+            scores.append(score_session(result.qoe).total)
+        summary = summarize_runs(runs)
+        all_findings[name] = findings
+        print(f"{name:4} {summary.mean_bitrate_bps / 1e6:12.2f} "
+              f"{summary.mean_startup_delay_s:10.1f} "
+              f"{summary.mean_stall_s:8.1f} "
+              f"{summary.stall_run_fraction:10.0%} "
+              f"{summary.mean_switches_per_minute:10.1f} "
+              f"{summary.total_bytes / 1e6:7.0f} "
+              f"{sum(scores) / len(scores):7.2f}")
+
+    print("\nIssues detected from the outside (subset of Table 2):")
+    for name, findings in all_findings.items():
+        if findings:
+            issues = ", ".join(sorted(issue.name for issue in findings))
+            print(f"  {name}: {issues}")
+
+    print("\nBest practices for the worst offender:")
+    worst = max(all_findings, key=lambda n: len(all_findings[n]))
+    for trace in selected[:1]:
+        result = run_session(worst, trace, duration_s=duration)
+        for practice in recommendations_for(diagnose_service(result)):
+            print(f"  [{worst}] {practice.issue.name}: "
+                  f"{practice.recommendation}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Quickstart: stream one service over one cellular profile.
+
+Builds the H1 service model (server + manifests + media), replays a
+recorded-style cellular bandwidth profile against it, and prints the
+QoE metrics the paper's methodology extracts from traffic + UI events
+(section 2.2), plus the inferred buffer occupancy.
+
+Run:
+    python examples/quickstart.py [SERVICE] [PROFILE_ID]
+"""
+
+import sys
+
+from repro import cellular_profiles, run_session
+from repro.media.track import StreamType
+from repro.util import to_mbps
+
+
+def main() -> None:
+    service = sys.argv[1] if len(sys.argv) > 1 else "H1"
+    profile_id = int(sys.argv[2]) if len(sys.argv) > 2 else 7
+
+    profiles = cellular_profiles(600)
+    trace = profiles[profile_id - 1]
+    print(f"Streaming {service} over {trace.name} "
+          f"({trace.scenario.value}, avg {to_mbps(trace.average_bps):.2f} Mbps)")
+    print("... running 600 s session ...")
+
+    result = run_session(service, trace, duration_s=600.0)
+    qoe = result.qoe
+
+    print()
+    print(f"QoE report for {service} (from traffic + seekbar only)")
+    print(f"  startup delay      : {qoe.startup_delay_s:.1f} s")
+    print(f"  stalls             : {qoe.stall_count} "
+          f"({qoe.total_stall_s:.1f} s total)")
+    print(f"  avg video bitrate  : "
+          f"{qoe.average_displayed_bitrate_bps / 1e6:.2f} Mbps (declared)")
+    print(f"  track switches     : {qoe.switch_count} "
+          f"({qoe.nonconsecutive_switch_count} non-consecutive)")
+    print(f"  data usage         : {qoe.total_bytes / 1e6:.1f} MB "
+          f"({qoe.wasted_bytes / 1e6:.1f} MB wasted)")
+    print(f"  played             : {qoe.played_s:.0f} s")
+
+    print()
+    print("Displayed track share:")
+    for level, seconds in sorted(qoe.displayed_time_by_level().items()):
+        share = seconds / max(qoe.played_s, 1e-9)
+        bar = "#" * int(share * 40)
+        print(f"  level {level}: {share:6.1%} {bar}")
+
+    print()
+    print("Inferred buffer occupancy (downloading minus playing progress):")
+    estimator = result.buffer_estimator
+    for t in range(0, 601, 60):
+        video = estimator.occupancy_at(t, StreamType.VIDEO)
+        print(f"  t={t:4d}s  video buffer ~ {video:6.1f} s")
+
+    print()
+    print(f"Radio energy (LTE RRC model): {result.rrc.energy_j:.0f} J, "
+          f"idle {result.rrc.idle_fraction:.0%} of the session")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Segment replacement study (section 4.1): naive vs improved vs capped.
+
+Plays the Testcard stream with four ExoPlayer variants over a set of
+cellular profiles and prints the cost/benefit of each SR design:
+
+* none     — ExoPlayer v2 default (no replacement);
+* v1       — the flawed tail-discard scheme shared with H1/H4;
+* improved — per-segment, strictly-higher-quality replacement;
+* capped   — improved, but only below 720p (data saver).
+
+Run:
+    python examples/segment_replacement_study.py [PROFILE_IDS...]
+"""
+
+import sys
+
+from repro import cellular_profiles, run_session
+from repro.analysis.whatif import analyze_segment_replacement
+from repro.services import exoplayer_config
+from repro.services import testcard_dash_spec
+
+VARIANTS = ("none", "v1", "improved", "capped")
+
+
+def main() -> None:
+    profile_ids = [int(arg) for arg in sys.argv[1:]] or [3, 4, 5, 7]
+    profiles = cellular_profiles(600)
+    spec = testcard_dash_spec()
+
+    for pid in profile_ids:
+        trace = profiles[pid - 1]
+        print(f"\nProfile {pid} (avg {trace.average_bps / 1e6:.2f} Mbps)")
+        header = (f"  {'variant':10} {'bitrate Mbps':>12} {'<=480p time':>11} "
+                  f"{'MB':>7} {'wasted MB':>10} {'repl':>5} "
+                  f"{'lossy':>6} {'stall s':>8}")
+        print(header)
+        print("  " + "-" * (len(header) - 2))
+        for variant in VARIANTS:
+            result = run_session(
+                spec, trace, duration_s=600.0,
+                player_config=exoplayer_config(sr=variant),
+            )
+            qoe = result.qoe
+            whatif = analyze_segment_replacement(result.analyzer.downloads,
+                                                 result.ui)
+            lossy = (whatif.fraction_replacements("lower")
+                     + whatif.fraction_replacements("equal"))
+            print(f"  {variant:10} "
+                  f"{qoe.average_displayed_bitrate_bps / 1e6:12.2f} "
+                  f"{qoe.fraction_at_or_below_height(480):11.1%} "
+                  f"{qoe.total_bytes / 1e6:7.1f} "
+                  f"{whatif.wasted_bytes / 1e6:10.1f} "
+                  f"{len(whatif.replacements):5d} "
+                  f"{lossy:6.1%} "
+                  f"{qoe.total_stall_s:8.1f}")
+
+    print("\nReading the table:")
+    print("  - 'v1' wastes data on lossy cascades (lossy column > 0);")
+    print("  - 'improved' converts similar data into low-quality-time")
+    print("    reductions with zero lossy replacements;")
+    print("  - 'capped' keeps most of the benefit at reduced waste.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Two players, one cellular link (the FESTIVE fairness question).
+
+Runs pairs of service models against a single shared bottleneck and
+prints each client's QoE, then exports the first client's per-second
+timelines as CSV (for plotting buffer/selection series like the paper's
+figures).
+
+Run:
+    python examples/shared_link.py [SERVICE_A] [SERVICE_B] [MBPS]
+"""
+
+import sys
+
+from repro.analysis.timelines import extract_timelines
+from repro.core.multi import run_shared_link
+from repro.net.schedule import ConstantSchedule
+from repro.util import mbps
+
+
+def main() -> None:
+    service_a = sys.argv[1] if len(sys.argv) > 1 else "D3"
+    service_b = sys.argv[2] if len(sys.argv) > 2 else "D2"
+    rate = float(sys.argv[3]) if len(sys.argv) > 3 else 4.0
+    duration = 300.0
+
+    print(f"{service_a} and {service_b} sharing a {rate:.0f} Mbps link "
+          f"for {duration:.0f} s\n")
+    results = run_shared_link([service_a, service_b],
+                              ConstantSchedule(mbps(rate)),
+                              duration_s=duration)
+
+    header = (f"{'client':8} {'bitrate Mbps':>12} {'stall s':>8} "
+              f"{'startup s':>10} {'MB':>7}")
+    print(header)
+    print("-" * len(header))
+    for client in results:
+        qoe = client.qoe
+        print(f"{client.service_name:8} "
+              f"{qoe.average_displayed_bitrate_bps / 1e6:12.2f} "
+              f"{qoe.total_stall_s:8.1f} "
+              f"{qoe.startup_delay_s if qoe.startup_delay_s else 0:10.1f} "
+              f"{qoe.total_bytes / 1e6:7.0f}")
+
+    share_a = results[0].qoe.total_bytes
+    share_b = results[1].qoe.total_bytes
+    total = max(share_a + share_b, 1)
+    print(f"\nLink share: {results[0].service_name} "
+          f"{share_a / total:.0%} vs {results[1].service_name} "
+          f"{share_b / total:.0%}")
+
+    timelines = extract_timelines(results[0].analyzer, results[0].ui,
+                                  duration)
+    csv_lines = timelines.to_csv().splitlines()
+    print(f"\nTimeline CSV for {results[0].service_name} "
+          f"({len(csv_lines) - 1} samples); first rows:")
+    for line in csv_lines[:6]:
+        print(f"  {line}")
+
+
+if __name__ == "__main__":
+    main()

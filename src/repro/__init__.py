@@ -1,0 +1,62 @@
+"""repro: a reproduction of "Dissecting VOD Services for Cellular:
+Performance, Root Causes and Best Practices" (IMC 2017).
+
+The package contains two layers:
+
+1. a complete HAS streaming testbed — media encoding, HLS/DASH/
+   SmoothStreaming manifests, a fluid TCP/HTTP network simulator, an
+   origin server, a fully configurable client player, and models of
+   the paper's 12 studied services (H1-H6, D1-D4, S1-S2) plus
+   ExoPlayer;
+2. the paper's measurement methodology — a flow-capturing proxy, a
+   protocol-aware traffic analyzer, a seekbar UI monitor, buffer
+   inference, QoE metrics, segment-replacement what-if analysis, and
+   the black-box probes used to reverse-engineer service designs.
+
+Quickstart::
+
+    from repro import run_session, cellular_profiles
+
+    trace = cellular_profiles()[6]          # a mid-bandwidth profile
+    result = run_session("H1", trace, duration_s=300)
+    print(result.qoe.average_displayed_bitrate_bps / 1e6, "Mbps")
+    print(result.qoe.total_stall_s, "s stalled")
+"""
+
+from repro.core.session import Session, SessionResult, run_session
+from repro.core.experiment import run_service_over_profiles, summarize_runs
+from repro.net.traces import cellular_profiles, generate_trace, split_trace
+from repro.net.schedule import ConstantSchedule, StepSchedule, TraceSchedule
+from repro.services import (
+    ALL_SERVICE_NAMES,
+    SERVICES,
+    build_service,
+    exoplayer_config,
+    get_service,
+    sintel_hls_spec,
+    testcard_dash_spec,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Session",
+    "SessionResult",
+    "run_session",
+    "run_service_over_profiles",
+    "summarize_runs",
+    "cellular_profiles",
+    "generate_trace",
+    "split_trace",
+    "ConstantSchedule",
+    "StepSchedule",
+    "TraceSchedule",
+    "ALL_SERVICE_NAMES",
+    "SERVICES",
+    "build_service",
+    "exoplayer_config",
+    "get_service",
+    "sintel_hls_spec",
+    "testcard_dash_spec",
+    "__version__",
+]

@@ -1,0 +1,62 @@
+"""The paper's measurement methodology (section 2).
+
+* :class:`Proxy` — the man-in-the-middle: records every HTTP flow, can
+  rewrite manifests (black-box variants) and reject requests (startup
+  probing).
+* :class:`TrafficAnalyzer` — parses captured manifests/sidx boxes and
+  maps HTTP requests to (stream, track, segment), yielding timed
+  :class:`SegmentDownload` records plus protocol/transport facts.
+* :class:`UiMonitor` — consumes the 1 Hz seekbar updates and extracts
+  playback progress, stalls and startup delay.
+* :class:`BufferEstimator` — infers buffer occupancy over time as
+  downloading progress minus playing progress.
+* :class:`QoeReport` — the combined QoE metrics of section 2.2.
+* :mod:`repro.analysis.whatif` — the SR what-if analysis of section 4.1.
+"""
+
+from repro.analysis.proxy import (
+    FlowRecord,
+    ManifestRewriter,
+    Proxy,
+    SegmentLimitRejector,
+)
+from repro.analysis.traffic import SegmentDownload, TrafficAnalyzer
+from repro.analysis.ui import UiMonitor
+from repro.analysis.bufferinfer import BufferEstimator
+from repro.analysis.qoe import QoeReport, compute_qoe
+from repro.analysis.whatif import SrWhatIf, analyze_segment_replacement
+from repro.analysis.qoemodel import QoeModelWeights, QoeScore, score_session
+from repro.analysis.serialize import (
+    capture_from_json,
+    capture_to_json,
+    reanalyze,
+)
+from repro.analysis.faults import FlakyOriginHandler
+from repro.analysis.report import render_comparison, render_qoe_report
+from repro.analysis.timelines import SessionTimelines, extract_timelines
+
+__all__ = [
+    "FlowRecord",
+    "ManifestRewriter",
+    "Proxy",
+    "SegmentLimitRejector",
+    "SegmentDownload",
+    "TrafficAnalyzer",
+    "UiMonitor",
+    "BufferEstimator",
+    "QoeReport",
+    "compute_qoe",
+    "SrWhatIf",
+    "analyze_segment_replacement",
+    "QoeModelWeights",
+    "QoeScore",
+    "score_session",
+    "capture_from_json",
+    "capture_to_json",
+    "reanalyze",
+    "FlakyOriginHandler",
+    "render_comparison",
+    "render_qoe_report",
+    "SessionTimelines",
+    "extract_timelines",
+]

@@ -1,0 +1,84 @@
+"""Buffer occupancy inference (section 2.5).
+
+At any time, the difference between downloading progress (from the
+traffic analyzer) and playing progress (from the UI monitor) is the
+buffer occupancy.  Duplicate downloads of the same index (segment
+replacement) do not add content, so unique indexes are counted once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.traffic import TrafficAnalyzer
+from repro.analysis.ui import UiMonitor
+from repro.media.track import StreamType
+from repro.util import check_positive
+
+
+@dataclass(frozen=True)
+class BufferPoint:
+    at: float
+    video_s: float
+    audio_s: float | None
+
+
+class BufferEstimator:
+    """Combines traffic and UI views into a buffer occupancy series."""
+
+    def __init__(self, analyzer: TrafficAnalyzer, ui: UiMonitor):
+        self.analyzer = analyzer
+        self.ui = ui
+
+    def occupancy_at(
+        self, t: float, stream_type: StreamType = StreamType.VIDEO
+    ) -> float:
+        downloaded = self.analyzer.downloaded_duration_until(t, stream_type)
+        played = self.ui.position_at(t)
+        return max(downloaded - played, 0.0)
+
+    def series(
+        self, duration_s: float, step_s: float = 1.0
+    ) -> list[BufferPoint]:
+        check_positive("step_s", step_s)
+        has_audio = self.analyzer.has_separate_audio
+        points: list[BufferPoint] = []
+        steps = int(duration_s / step_s) + 1
+        # Precompute cumulative unique-content downloads per stream so the
+        # sweep is linear instead of rescanning all downloads per point.
+        video_curve = self._cumulative_curve(StreamType.VIDEO)
+        audio_curve = self._cumulative_curve(StreamType.AUDIO) if has_audio else None
+        for i in range(steps):
+            t = i * step_s
+            played = self.ui.position_at(t)
+            video = max(_curve_value(video_curve, t) - played, 0.0)
+            audio = None
+            if audio_curve is not None:
+                audio = max(_curve_value(audio_curve, t) - played, 0.0)
+            points.append(BufferPoint(at=t, video_s=video, audio_s=audio))
+        return points
+
+    def _cumulative_curve(self, stream_type: StreamType) -> list[tuple[float, float]]:
+        seen: set[int] = set()
+        curve: list[tuple[float, float]] = []
+        total = 0.0
+        downloads = sorted(
+            self.analyzer.media_downloads(stream_type),
+            key=lambda d: d.completed_at,
+        )
+        for download in downloads:
+            if download.index in seen:
+                continue
+            seen.add(download.index)
+            total += download.duration_s
+            curve.append((download.completed_at, total))
+        return curve
+
+
+def _curve_value(curve: list[tuple[float, float]], t: float) -> float:
+    value = 0.0
+    for at, cumulative in curve:
+        if at > t + 1e-9:
+            break
+        value = cumulative
+    return value

@@ -1,0 +1,38 @@
+"""Fault injection at the proxy (robustness testing).
+
+The paper rejects requests deterministically for the startup probe;
+this module generalises the idea: seeded random server errors and
+response truncation let tests exercise the player's retry and recovery
+paths, and quantify how service designs cope with an unreliable CDN.
+"""
+
+from __future__ import annotations
+
+from repro.net.http import HttpRequest, HttpStatus, ResponsePlan
+from repro.util import DeterministicRng, check_probability
+
+
+class FlakyOriginHandler:
+    """Wrap a request handler, failing a seeded fraction of media requests.
+
+    Manifests, playlists and sidx fetches always succeed (a player that
+    cannot even bootstrap tells us nothing); only opaque media responses
+    are turned into errors.
+    """
+
+    def __init__(self, origin, *, error_rate: float = 0.1, seed: int = 13,
+                 status: HttpStatus = HttpStatus.NOT_FOUND):
+        check_probability("error_rate", error_rate)
+        self.origin = origin
+        self.error_rate = error_rate
+        self.status = status
+        self.injected_errors = 0
+        self._rng = DeterministicRng(seed)
+
+    def handle(self, request: HttpRequest) -> ResponsePlan:
+        plan = self.origin.handle(request)
+        is_media = plan.is_success and plan.text is None and plan.data is None
+        if is_media and self._rng.random() < self.error_rate:
+            self.injected_errors += 1
+            return ResponsePlan.error(self.status)
+        return plan

@@ -1,0 +1,144 @@
+"""The measurement proxy: flow capture, manifest rewriting, rejection.
+
+Sits between the client and the origin (it is the network's request
+handler *and* a network observer), so it sees exactly what a real
+man-in-the-middle proxy sees: URLs, byte ranges, sizes, timings and
+payloads — but none of the player's internal state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.net.http import (
+    HttpRequest,
+    HttpResponse,
+    HttpStatus,
+    ResponsePlan,
+)
+
+
+@dataclass
+class FlowRecord:
+    """One HTTP request/response as seen on the wire."""
+
+    url: str
+    byte_range: tuple[int, int] | None
+    connection_id: str
+    started_at: float
+    status: HttpStatus
+    planned_bytes: int
+    completed_at: float | None = None
+    size_bytes: int | None = None
+    text: Optional[str] = None
+    data: Optional[bytes] = None
+
+    @property
+    def complete(self) -> bool:
+        return self.completed_at is not None
+
+    @property
+    def success(self) -> bool:
+        return self.status in (HttpStatus.OK, HttpStatus.PARTIAL_CONTENT)
+
+    @property
+    def duration_s(self) -> float:
+        if self.completed_at is None:
+            raise ValueError("flow not complete")
+        return self.completed_at - self.started_at
+
+
+ManifestRewriter = Callable[[str, str], str]  # (text, url) -> new text
+
+
+class SegmentLimitRejector:
+    """Reject media-segment requests beyond the first ``n`` segments.
+
+    This is the paper's startup-buffer probe (section 3.3.1): the proxy
+    classifies requests with the help of a live traffic analyzer (which
+    parses the same manifests the client fetched) and rejects any video
+    segment with index >= n, and any audio content beyond the same
+    playback position, forcing the player to reveal how much it needs
+    before starting playback.
+    """
+
+    def __init__(self, analyzer, max_video_segments: int):
+        if max_video_segments < 0:
+            raise ValueError("max_video_segments must be >= 0")
+        self.analyzer = analyzer
+        self.max_video_segments = max_video_segments
+
+    def should_reject(self, request: HttpRequest) -> bool:
+        located = self.analyzer.locate_request(request.url, request.byte_range)
+        if located is None:
+            return False  # manifests, playlists, sidx always pass
+        stream, _level, index, start_s = located
+        if stream.value == "video":
+            return index >= self.max_video_segments
+        cutoff = self.analyzer.video_position_of_segment(self.max_video_segments)
+        if cutoff is None:
+            return False
+        return start_s >= cutoff - 1e-6
+
+
+class Proxy:
+    """Man-in-the-middle between the simulated device and the origin."""
+
+    def __init__(self, origin) -> None:
+        self.origin = origin
+        self.flows: list[FlowRecord] = []
+        self.manifest_rewriter: ManifestRewriter | None = None
+        self.rejector: Optional[SegmentLimitRejector] = None
+        self.rejected_count = 0
+        self.flow_listeners: list[Callable[[FlowRecord], None]] = []
+        self._pending: dict[int, FlowRecord] = {}
+
+    # -- RequestHandler ---------------------------------------------------
+
+    def handle(self, request: HttpRequest) -> ResponsePlan:
+        if self.rejector is not None and self.rejector.should_reject(request):
+            self.rejected_count += 1
+            return ResponsePlan.error(HttpStatus.FORBIDDEN)
+        plan = self.origin.handle(request)
+        if plan.text is not None and self.manifest_rewriter is not None:
+            rewritten = self.manifest_rewriter(plan.text, request.url)
+            if rewritten != plan.text:
+                plan = ResponsePlan.ok_text(rewritten)
+        return plan
+
+    # -- NetworkObserver ------------------------------------------------------
+
+    def on_request(
+        self, request: HttpRequest, plan: ResponsePlan, connection_id: str,
+        now: float,
+    ) -> None:
+        flow = FlowRecord(
+            url=request.url,
+            byte_range=request.byte_range,
+            connection_id=connection_id,
+            started_at=now,
+            status=plan.status,
+            planned_bytes=plan.size_bytes,
+        )
+        self.flows.append(flow)
+        self._pending[id(request)] = flow
+
+    def on_response(self, response: HttpResponse) -> None:
+        flow = self._pending.pop(id(response.request), None)
+        if flow is None:
+            return
+        flow.completed_at = response.completed_at
+        flow.size_bytes = response.size_bytes
+        flow.text = response.text
+        flow.data = response.data
+        for listener in self.flow_listeners:
+            listener(flow)
+
+    # -- convenience ------------------------------------------------------------
+
+    def completed_flows(self) -> list[FlowRecord]:
+        return [flow for flow in self.flows if flow.complete]
+
+    def total_bytes(self) -> int:
+        return sum(flow.size_bytes or 0 for flow in self.completed_flows())

@@ -1,0 +1,191 @@
+"""QoE metrics (section 2.2), computed purely from traffic + UI views.
+
+The four metric families the paper uses:
+
+* **Video quality** — time-weighted average declared bitrate of the
+  *displayed* segments, plus the share of playtime spent on low-quality
+  tracks (the measure section 4.1.3 argues matters most);
+* **Track switches** — count, and count of non-consecutive switches;
+* **Stall duration** — total and per-event, from the UI monitor;
+* **Startup delay** — first seekbar movement.
+
+The displayed segment for each position is the *last* download of that
+index completed before the position played (later downloads replace
+earlier ones in the buffer — confirmed for H1 via logcat in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.traffic import SegmentDownload, TrafficAnalyzer
+from repro.analysis.ui import UiMonitor
+from repro.media.track import StreamType
+
+
+@dataclass(frozen=True)
+class DisplayedSegment:
+    """One video segment as it was (or would be) rendered."""
+
+    index: int
+    start_s: float
+    duration_s: float
+    played_duration_s: float
+    level: int
+    declared_bitrate_bps: float
+    height: int | None
+
+
+@dataclass
+class QoeReport:
+    """The combined QoE picture for one session."""
+
+    startup_delay_s: float | None
+    stall_count: int
+    total_stall_s: float
+    played_s: float
+    displayed: list[DisplayedSegment] = field(repr=False, default_factory=list)
+    total_bytes: int = 0
+    media_bytes: int = 0
+    wasted_bytes: int = 0
+
+    # -- video quality ------------------------------------------------------
+
+    @property
+    def average_displayed_bitrate_bps(self) -> float:
+        total_time = sum(d.played_duration_s for d in self.displayed)
+        if total_time <= 0:
+            return 0.0
+        weighted = sum(
+            d.declared_bitrate_bps * d.played_duration_s for d in self.displayed
+        )
+        return weighted / total_time
+
+    def time_at_or_below_height(self, height: int) -> float:
+        return sum(
+            d.played_duration_s
+            for d in self.displayed
+            if d.height is not None and d.height <= height
+        )
+
+    def time_below_bitrate(self, bitrate_bps: float) -> float:
+        return sum(
+            d.played_duration_s
+            for d in self.displayed
+            if d.declared_bitrate_bps < bitrate_bps
+        )
+
+    def fraction_at_or_below_height(self, height: int) -> float:
+        total = sum(d.played_duration_s for d in self.displayed)
+        if total <= 0:
+            return 0.0
+        return self.time_at_or_below_height(height) / total
+
+    def displayed_time_by_level(self) -> dict[int, float]:
+        shares: dict[int, float] = {}
+        for d in self.displayed:
+            shares[d.level] = shares.get(d.level, 0.0) + d.played_duration_s
+        return shares
+
+    # -- switches -------------------------------------------------------------
+
+    @property
+    def switch_count(self) -> int:
+        return sum(
+            1
+            for prev, cur in zip(self.displayed, self.displayed[1:])
+            if cur.level != prev.level
+        )
+
+    @property
+    def nonconsecutive_switch_count(self) -> int:
+        return sum(
+            1
+            for prev, cur in zip(self.displayed, self.displayed[1:])
+            if abs(cur.level - prev.level) > 1
+        )
+
+    @property
+    def switches_per_minute(self) -> float:
+        if self.played_s <= 0:
+            return 0.0
+        return self.switch_count / (self.played_s / 60.0)
+
+    @property
+    def distinct_displayed_levels(self) -> int:
+        return len({d.level for d in self.displayed})
+
+
+def displayed_sequence(
+    downloads: list[SegmentDownload], ui: UiMonitor
+) -> list[DisplayedSegment]:
+    """Reconstruct what was shown on screen from downloads + seekbar."""
+    video = [d for d in downloads if d.stream_type is StreamType.VIDEO]
+    if not video:
+        return []
+    by_index: dict[int, list[SegmentDownload]] = {}
+    for download in video:
+        by_index.setdefault(download.index, []).append(download)
+    final_pos = ui.final_position_s()
+    displayed: list[DisplayedSegment] = []
+    for index in sorted(by_index):
+        candidates = sorted(by_index[index], key=lambda d: d.completed_at)
+        start_s = candidates[0].start_s
+        if start_s >= final_pos - 1e-9:
+            continue  # never rendered
+        display_time = ui.time_position_crossed(start_s)
+        chosen = candidates[0]
+        if display_time is not None:
+            for candidate in candidates:
+                if candidate.completed_at <= display_time + 1e-9:
+                    chosen = candidate
+        played = min(chosen.duration_s, final_pos - start_s)
+        displayed.append(
+            DisplayedSegment(
+                index=index,
+                start_s=start_s,
+                duration_s=chosen.duration_s,
+                played_duration_s=played,
+                level=chosen.level,
+                declared_bitrate_bps=chosen.declared_bitrate_bps,
+                height=chosen.height,
+            )
+        )
+    return displayed
+
+
+def compute_qoe(
+    analyzer: TrafficAnalyzer,
+    ui: UiMonitor,
+    *,
+    total_bytes: int | None = None,
+) -> QoeReport:
+    """Build the full QoE report for one captured session."""
+    downloads = analyzer.media_downloads()
+    displayed = displayed_sequence(downloads, ui)
+    media_bytes = sum(d.size_bytes for d in downloads)
+    # Wasted bytes: every download of an index except the one displayed
+    # (or, for never-displayed indexes, except the last retained one).
+    retained: dict[int, float] = {}
+    for item in displayed:
+        retained[item.index] = item.declared_bitrate_bps
+    wasted = 0
+    by_index: dict[int, list[SegmentDownload]] = {}
+    for download in downloads:
+        if download.stream_type is StreamType.VIDEO:
+            by_index.setdefault(download.index, []).append(download)
+    for index, candidates in by_index.items():
+        if len(candidates) <= 1:
+            continue
+        ordered = sorted(candidates, key=lambda d: d.completed_at)
+        wasted += sum(d.size_bytes for d in ordered[:-1])
+    return QoeReport(
+        startup_delay_s=ui.startup_delay_s(),
+        stall_count=ui.stall_count(),
+        total_stall_s=ui.total_stall_s(),
+        played_s=ui.played_duration_s(),
+        displayed=displayed,
+        total_bytes=total_bytes if total_bytes is not None else media_bytes,
+        media_bytes=media_bytes,
+        wasted_bytes=wasted,
+    )

@@ -1,0 +1,96 @@
+"""A composite QoE score over the paper's metrics.
+
+Section 2.2 stresses that "each metric by itself provides only a
+limited viewpoint and all of them need to be considered together", and
+section 4.1.3 cites subjective studies (Liu et al. [35]) showing QoE is
+*concave* in bitrate: gains at low bitrates matter far more than gains
+at high ones.  This module provides a standard-form scalar model over a
+:class:`~repro.analysis.qoe.QoeReport`:
+
+    score = quality - switch_penalty - stall_penalty - startup_penalty
+
+with logarithmic per-segment quality (the concavity), in the spirit of
+widely used HAS QoE models (e.g. Yin et al., SIGCOMM'15).  The absolute
+value is unit-less; use it to *rank* designs under identical traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.qoe import QoeReport
+from repro.util import check_non_negative, kbps
+
+import math
+
+
+@dataclass(frozen=True)
+class QoeModelWeights:
+    """Model coefficients; defaults follow common HAS QoE models."""
+
+    reference_bitrate_bps: float = kbps(200)
+    switch_penalty: float = 0.5
+    nonconsecutive_switch_penalty: float = 1.0
+    stall_penalty_per_s: float = 3.0
+    startup_penalty_per_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        check_non_negative("switch_penalty", self.switch_penalty)
+        check_non_negative("stall_penalty_per_s", self.stall_penalty_per_s)
+        check_non_negative("startup_penalty_per_s", self.startup_penalty_per_s)
+
+
+@dataclass(frozen=True)
+class QoeScore:
+    """The score and its components (all per played minute)."""
+
+    total: float
+    quality: float
+    switch_cost: float
+    stall_cost: float
+    startup_cost: float
+
+
+def score_session(
+    report: QoeReport, weights: QoeModelWeights = QoeModelWeights()
+) -> QoeScore:
+    """Score one session's QoE report.
+
+    Quality is the time-weighted mean of ``log(bitrate / reference)``
+    over displayed segments, so doubling a low bitrate helps exactly as
+    much as doubling a high one — the concavity that motivates the
+    paper's low-quality-playtime metric.  Penalties are normalised per
+    played minute so sessions of different lengths compare fairly.
+    """
+    played = max(report.played_s, 1e-9)
+    minutes = played / 60.0
+
+    quality_sum = 0.0
+    for segment in report.displayed:
+        ratio = max(
+            segment.declared_bitrate_bps / weights.reference_bitrate_bps, 1e-6
+        )
+        quality_sum += math.log(ratio) * segment.played_duration_s
+    quality = quality_sum / played
+
+    plain_switches = report.switch_count - report.nonconsecutive_switch_count
+    switch_cost = (
+        weights.switch_penalty * plain_switches
+        + weights.nonconsecutive_switch_penalty
+        * report.nonconsecutive_switch_count
+    ) / max(minutes, 1e-9)
+
+    stall_cost = weights.stall_penalty_per_s * report.total_stall_s / max(
+        minutes, 1e-9
+    )
+    startup = report.startup_delay_s if report.startup_delay_s is not None \
+        else played
+    startup_cost = weights.startup_penalty_per_s * startup / max(minutes, 1e-9)
+
+    return QoeScore(
+        total=quality - switch_cost - stall_cost - startup_cost,
+        quality=quality,
+        switch_cost=switch_cost,
+        stall_cost=stall_cost,
+        startup_cost=startup_cost,
+    )

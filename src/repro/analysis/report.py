@@ -1,0 +1,84 @@
+"""Human-readable reports over session results.
+
+Rendering helpers shared by the examples and the CLI: a per-session QoE
+report (the methodology's view of one run) and a cross-service
+comparison table (the paper's cross-sectional workflow).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+from repro.media.track import StreamType
+from repro.util import to_mbps
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid a core<->analysis cycle
+    from repro.core.experiment import RunSummary
+    from repro.core.session import SessionResult
+
+
+def render_qoe_report(result: "SessionResult", *,
+                      buffer_step_s: float = 60.0) -> str:
+    """Render one session's QoE report (traffic + UI views only)."""
+    from repro.core.bestpractices import diagnose_service
+    qoe = result.qoe
+    lines = [
+        f"QoE report: {result.service_name} "
+        f"({result.duration_s:.0f} s session)",
+        "-" * 48,
+    ]
+    startup = (f"{qoe.startup_delay_s:.1f} s"
+               if qoe.startup_delay_s is not None else "never started")
+    lines.append(f"startup delay      : {startup}")
+    lines.append(f"stalls             : {qoe.stall_count} "
+                 f"({qoe.total_stall_s:.1f} s total)")
+    lines.append(f"avg video bitrate  : "
+                 f"{to_mbps(qoe.average_displayed_bitrate_bps):.2f} Mbps")
+    lines.append(f"track switches     : {qoe.switch_count} "
+                 f"({qoe.nonconsecutive_switch_count} non-consecutive)")
+    lines.append(f"data usage         : {qoe.total_bytes / 1e6:.1f} MB "
+                 f"({qoe.wasted_bytes / 1e6:.1f} MB wasted)")
+    lines.append(f"played             : {qoe.played_s:.0f} s")
+
+    shares = qoe.displayed_time_by_level()
+    if shares:
+        lines.append("displayed levels   :")
+        total = sum(shares.values())
+        for level in sorted(shares):
+            fraction = shares[level] / max(total, 1e-9)
+            lines.append(f"  level {level}: {fraction:6.1%} "
+                         f"{'#' * int(fraction * 30)}")
+
+    estimator = result.buffer_estimator
+    lines.append("buffer occupancy   :")
+    t = 0.0
+    while t <= result.duration_s + 1e-9:
+        occupancy = estimator.occupancy_at(t, StreamType.VIDEO)
+        lines.append(f"  t={t:5.0f}s  {occupancy:6.1f} s")
+        t += buffer_step_s
+
+    findings = diagnose_service(result)
+    if findings:
+        lines.append("issues detected    :")
+        for finding in findings:
+            lines.append(f"  - {finding.issue.name}: {finding.evidence}")
+    return "\n".join(lines)
+
+
+def render_comparison(summaries: Sequence["RunSummary"]) -> str:
+    """Render a cross-service comparison table from run summaries."""
+    header = (f"{'svc':6} {'bitrate Mbps':>12} {'startup s':>10} "
+              f"{'stall s':>8} {'stall runs':>10} {'switch/min':>10} "
+              f"{'MB':>8}")
+    lines = [header, "-" * len(header)]
+    for summary in summaries:
+        lines.append(
+            f"{summary.service_name:6} "
+            f"{to_mbps(summary.mean_bitrate_bps):12.2f} "
+            f"{summary.mean_startup_delay_s:10.1f} "
+            f"{summary.mean_stall_s:8.1f} "
+            f"{summary.stall_run_fraction:10.0%} "
+            f"{summary.mean_switches_per_minute:10.1f} "
+            f"{summary.total_bytes / 1e6:8.0f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,95 @@
+"""Capture serialization: save flows + UI samples, re-analyze offline.
+
+Measurement studies collect once and analyze many times.  This module
+round-trips everything the methodology needs — the proxy's flow records
+and the UI monitor's progress samples — through JSON, so captures can
+be archived and the analyzers re-run (or improved) later without
+re-running the experiment.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+from typing import Any
+
+from repro.analysis.proxy import FlowRecord
+from repro.analysis.traffic import TrafficAnalyzer
+from repro.analysis.ui import UiMonitor
+from repro.net.http import HttpStatus
+from repro.player.events import ProgressSample
+
+FORMAT_VERSION = 1
+
+
+def flow_to_dict(flow: FlowRecord) -> dict[str, Any]:
+    return {
+        "url": flow.url,
+        "byte_range": list(flow.byte_range) if flow.byte_range else None,
+        "connection_id": flow.connection_id,
+        "started_at": flow.started_at,
+        "completed_at": flow.completed_at,
+        "status": int(flow.status),
+        "planned_bytes": flow.planned_bytes,
+        "size_bytes": flow.size_bytes,
+        "text": flow.text,
+        "data": base64.b64encode(flow.data).decode("ascii")
+        if flow.data is not None else None,
+    }
+
+
+def flow_from_dict(raw: dict[str, Any]) -> FlowRecord:
+    return FlowRecord(
+        url=raw["url"],
+        byte_range=tuple(raw["byte_range"]) if raw["byte_range"] else None,
+        connection_id=raw["connection_id"],
+        started_at=raw["started_at"],
+        completed_at=raw["completed_at"],
+        status=HttpStatus(raw["status"]),
+        planned_bytes=raw["planned_bytes"],
+        size_bytes=raw["size_bytes"],
+        text=raw["text"],
+        data=base64.b64decode(raw["data"]) if raw["data"] else None,
+    )
+
+
+def capture_to_json(
+    flows: list[FlowRecord],
+    ui_samples: list[ProgressSample],
+    *,
+    metadata: dict[str, Any] | None = None,
+) -> str:
+    """Serialize one session's capture to a JSON string."""
+    return json.dumps({
+        "format_version": FORMAT_VERSION,
+        "metadata": metadata or {},
+        "flows": [flow_to_dict(flow) for flow in flows],
+        "ui_samples": [
+            {"at": sample.at, "position_s": sample.position_s}
+            for sample in ui_samples
+        ],
+    })
+
+
+def capture_from_json(
+    payload: str,
+) -> tuple[list[FlowRecord], list[ProgressSample], dict[str, Any]]:
+    """Load a capture; returns (flows, ui_samples, metadata)."""
+    raw = json.loads(payload)
+    version = raw.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported capture format version {version!r}")
+    flows = [flow_from_dict(item) for item in raw["flows"]]
+    samples = [
+        ProgressSample(at=item["at"], position_s=item["position_s"])
+        for item in raw["ui_samples"]
+    ]
+    return flows, samples, raw.get("metadata", {})
+
+
+def reanalyze(payload: str) -> tuple[TrafficAnalyzer, UiMonitor]:
+    """Rebuild the analyzer and UI monitor from an archived capture."""
+    flows, samples, _ = capture_from_json(payload)
+    analyzer = TrafficAnalyzer()
+    analyzer.observe_flows(flows)
+    return analyzer, UiMonitor(samples)

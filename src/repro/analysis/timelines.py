@@ -1,0 +1,130 @@
+"""Time-series extraction for the paper's figures (and CSV export).
+
+The paper's figures are time series: buffer occupancy over time
+(Figures 6, 7, 14), selected track over time (Figures 8, 10), download
+progress per stream (Figure 6).  This module extracts those series from
+a session's methodology views and can render them as CSV for plotting
+with any external tool.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+
+from repro.analysis.traffic import TrafficAnalyzer
+from repro.analysis.ui import UiMonitor
+from repro.media.track import StreamType
+from repro.util import check_positive
+
+
+@dataclass(frozen=True)
+class SessionTimelines:
+    """All per-second series for one session."""
+
+    times: tuple[float, ...]
+    play_position_s: tuple[float, ...]
+    video_buffer_s: tuple[float, ...]
+    audio_buffer_s: tuple[float, ...] | None
+    video_downloaded_s: tuple[float, ...]
+    audio_downloaded_s: tuple[float, ...] | None
+    selected_level: tuple[int | None, ...]
+
+    def to_csv(self) -> str:
+        """Render as CSV (one row per sample)."""
+        out = io.StringIO()
+        headers = ["t", "play_position_s", "video_buffer_s"]
+        if self.audio_buffer_s is not None:
+            headers.append("audio_buffer_s")
+        headers.append("video_downloaded_s")
+        if self.audio_downloaded_s is not None:
+            headers.append("audio_downloaded_s")
+        headers.append("selected_level")
+        out.write(",".join(headers) + "\n")
+        for i, t in enumerate(self.times):
+            row = [f"{t:.1f}", f"{self.play_position_s[i]:.2f}",
+                   f"{self.video_buffer_s[i]:.2f}"]
+            if self.audio_buffer_s is not None:
+                row.append(f"{self.audio_buffer_s[i]:.2f}")
+            row.append(f"{self.video_downloaded_s[i]:.2f}")
+            if self.audio_downloaded_s is not None:
+                row.append(f"{self.audio_downloaded_s[i]:.2f}")
+            level = self.selected_level[i]
+            row.append("" if level is None else str(level))
+            out.write(",".join(row) + "\n")
+        return out.getvalue()
+
+
+def extract_timelines(
+    analyzer: TrafficAnalyzer,
+    ui: UiMonitor,
+    duration_s: float,
+    *,
+    step_s: float = 1.0,
+) -> SessionTimelines:
+    """Build all series from the methodology views at ``step_s`` spacing."""
+    check_positive("step_s", step_s)
+    has_audio = analyzer.has_separate_audio
+
+    downloads = sorted(analyzer.media_downloads(),
+                       key=lambda d: d.completed_at)
+    video_curve: list[tuple[float, float]] = []
+    audio_curve: list[tuple[float, float]] = []
+    seen: dict[StreamType, set[int]] = {StreamType.VIDEO: set(),
+                                        StreamType.AUDIO: set()}
+    totals = {StreamType.VIDEO: 0.0, StreamType.AUDIO: 0.0}
+    level_points: list[tuple[float, int]] = []
+    for download in downloads:
+        if download.index not in seen[download.stream_type]:
+            seen[download.stream_type].add(download.index)
+            totals[download.stream_type] += download.duration_s
+            curve = (video_curve if download.stream_type is StreamType.VIDEO
+                     else audio_curve)
+            curve.append((download.completed_at,
+                          totals[download.stream_type]))
+        if download.stream_type is StreamType.VIDEO:
+            level_points.append((download.completed_at, download.level))
+
+    def curve_value(curve: list[tuple[float, float]], t: float) -> float:
+        value = 0.0
+        for at, cumulative in curve:
+            if at > t + 1e-9:
+                break
+            value = cumulative
+        return value
+
+    def level_at(t: float) -> int | None:
+        level = None
+        for at, value in level_points:
+            if at > t + 1e-9:
+                break
+            level = value
+        return level
+
+    times, positions = [], []
+    video_buffer, audio_buffer = [], []
+    video_downloaded, audio_downloaded = [], []
+    levels = []
+    t = 0.0
+    while t <= duration_s + 1e-9:
+        played = ui.position_at(t)
+        vd = curve_value(video_curve, t)
+        times.append(t)
+        positions.append(played)
+        video_downloaded.append(vd)
+        video_buffer.append(max(vd - played, 0.0))
+        if has_audio:
+            ad = curve_value(audio_curve, t)
+            audio_downloaded.append(ad)
+            audio_buffer.append(max(ad - played, 0.0))
+        levels.append(level_at(t))
+        t += step_s
+    return SessionTimelines(
+        times=tuple(times),
+        play_position_s=tuple(positions),
+        video_buffer_s=tuple(video_buffer),
+        audio_buffer_s=tuple(audio_buffer) if has_audio else None,
+        video_downloaded_s=tuple(video_downloaded),
+        audio_downloaded_s=tuple(audio_downloaded) if has_audio else None,
+        selected_level=tuple(levels),
+    )

@@ -1,0 +1,170 @@
+"""Segment-replacement what-if analysis (section 4.1.1).
+
+Given the downloads of a session in which the player performed SR, the
+paper emulates the no-SR case by keeping only the *first* download of
+each index, then compares video quality and data usage.  It also
+replays the buffer to classify each replacement against the segment it
+displaced (higher / equal / lower quality) and to measure contiguous
+replacement runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.qoe import DisplayedSegment, displayed_sequence
+from repro.analysis.traffic import SegmentDownload
+from repro.analysis.ui import UiMonitor
+from repro.media.track import StreamType
+
+
+@dataclass(frozen=True)
+class ReplacementEvent:
+    """One redownload observed in traffic: new segment vs displaced one."""
+
+    at: float
+    index: int
+    old_level: int
+    new_level: int
+    old_declared_bps: float
+    new_declared_bps: float
+    size_bytes: int
+
+    @property
+    def comparison(self) -> str:
+        if self.new_level > self.old_level:
+            return "higher"
+        if self.new_level == self.old_level:
+            return "equal"
+        return "lower"
+
+
+@dataclass
+class SrWhatIf:
+    """SR usage and its cost/benefit for one session."""
+
+    sr_detected: bool
+    replacements: list[ReplacementEvent] = field(default_factory=list)
+    replaced_run_lengths: list[int] = field(default_factory=list)
+    bytes_with_sr: int = 0
+    bytes_without_sr: int = 0
+    displayed_with_sr: list[DisplayedSegment] = field(default_factory=list)
+    displayed_without_sr: list[DisplayedSegment] = field(default_factory=list)
+
+    @property
+    def extra_bytes(self) -> int:
+        return self.bytes_with_sr - self.bytes_without_sr
+
+    @property
+    def data_increase_fraction(self) -> float:
+        if self.bytes_without_sr <= 0:
+            return 0.0
+        return self.extra_bytes / self.bytes_without_sr
+
+    @property
+    def wasted_bytes(self) -> int:
+        return sum(event.size_bytes for event in self.replacements)
+
+    def _avg_bitrate(self, displayed: list[DisplayedSegment]) -> float:
+        total = sum(d.played_duration_s for d in displayed)
+        if total <= 0:
+            return 0.0
+        return sum(
+            d.declared_bitrate_bps * d.played_duration_s for d in displayed
+        ) / total
+
+    @property
+    def avg_bitrate_with_sr_bps(self) -> float:
+        return self._avg_bitrate(self.displayed_with_sr)
+
+    @property
+    def avg_bitrate_without_sr_bps(self) -> float:
+        return self._avg_bitrate(self.displayed_without_sr)
+
+    @property
+    def bitrate_improvement_fraction(self) -> float:
+        base = self.avg_bitrate_without_sr_bps
+        if base <= 0:
+            return 0.0
+        return (self.avg_bitrate_with_sr_bps - base) / base
+
+    def fraction_replacements(self, comparison: str) -> float:
+        if not self.replacements:
+            return 0.0
+        matching = sum(
+            1 for event in self.replacements if event.comparison == comparison
+        )
+        return matching / len(self.replacements)
+
+    def time_at_or_below_height(
+        self, height: int, *, with_sr: bool
+    ) -> float:
+        displayed = self.displayed_with_sr if with_sr else self.displayed_without_sr
+        return sum(
+            d.played_duration_s
+            for d in displayed
+            if d.height is not None and d.height <= height
+        )
+
+
+def analyze_segment_replacement(
+    downloads: list[SegmentDownload], ui: UiMonitor
+) -> SrWhatIf:
+    """Run the section 4.1.1 what-if over one session's downloads."""
+    video = sorted(
+        (d for d in downloads if d.stream_type is StreamType.VIDEO),
+        key=lambda d: d.completed_at,
+    )
+    audio_bytes = sum(
+        d.size_bytes for d in downloads if d.stream_type is StreamType.AUDIO
+    )
+
+    # Replay the buffer: track the currently retained download per index.
+    retained: dict[int, SegmentDownload] = {}
+    replacements: list[ReplacementEvent] = []
+    first_only: list[SegmentDownload] = []
+    for download in video:
+        previous = retained.get(download.index)
+        if previous is None:
+            first_only.append(download)
+        else:
+            replacements.append(
+                ReplacementEvent(
+                    at=download.completed_at,
+                    index=download.index,
+                    old_level=previous.level,
+                    new_level=download.level,
+                    old_declared_bps=previous.declared_bitrate_bps,
+                    new_declared_bps=download.declared_bitrate_bps,
+                    size_bytes=previous.size_bytes,
+                )
+            )
+        retained[download.index] = download
+
+    # Contiguous replacement runs: consecutive replacement events whose
+    # indexes are consecutive (the H4 "replace everything after" pattern).
+    runs: list[int] = []
+    run = 0
+    previous_event: ReplacementEvent | None = None
+    for event in replacements:
+        if previous_event is not None and event.index == previous_event.index + 1:
+            run += 1
+        else:
+            if run:
+                runs.append(run)
+            run = 1
+        previous_event = event
+    if run:
+        runs.append(run)
+
+    with_sr = displayed_sequence(video, ui)
+    without_sr = displayed_sequence(first_only, ui)
+    return SrWhatIf(
+        sr_detected=bool(replacements),
+        replacements=replacements,
+        replaced_run_lengths=runs,
+        bytes_with_sr=sum(d.size_bytes for d in video) + audio_bytes,
+        bytes_without_sr=sum(d.size_bytes for d in first_only) + audio_bytes,
+        displayed_with_sr=with_sr,
+        displayed_without_sr=without_sr,
+    )

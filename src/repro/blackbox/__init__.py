@@ -1,0 +1,31 @@
+"""Black-box experiments: stress tests that reveal proprietary designs.
+
+These are the paper's section 2.6/3.3 probes, run against any service
+without privileged access: request rejection reveals startup buffers,
+constant-bandwidth runs reveal download thresholds and adaptation
+stability/aggressiveness, step-function bandwidth reveals how the
+buffer informs down-switches, and manifest variants reveal whether the
+adaptation consumes actual segment bitrates (Figure 12).
+"""
+
+from repro.blackbox.startup import StartupProbe, probe_startup_buffer
+from repro.blackbox.thresholds import ThresholdProbe, probe_download_thresholds
+from repro.blackbox.convergence import ConvergenceProbe, probe_convergence
+from repro.blackbox.stepresponse import StepProbe, probe_step_response
+from repro.blackbox.variants import VariantExperiment, run_variant_experiment
+from repro.blackbox.startup_sweep import StartupSweepPoint, startup_sweep
+
+__all__ = [
+    "StartupProbe",
+    "probe_startup_buffer",
+    "ThresholdProbe",
+    "probe_download_thresholds",
+    "ConvergenceProbe",
+    "probe_convergence",
+    "StepProbe",
+    "probe_step_response",
+    "VariantExperiment",
+    "run_variant_experiment",
+    "StartupSweepPoint",
+    "startup_sweep",
+]

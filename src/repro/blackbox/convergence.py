@@ -1,0 +1,77 @@
+"""Constant-bandwidth convergence probe (section 3.3.3, Figures 8 & 9).
+
+Emulates a stable bandwidth and inspects the steady-state track
+selection: a *stable* player converges to one track; an *aggressive*
+one converges to a declared bitrate at or above the available
+bandwidth (possible with VBR, where actual bitrates run well below
+declared).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.session import run_session
+from repro.media.track import StreamType
+from repro.net.schedule import ConstantSchedule
+
+
+@dataclass(frozen=True)
+class ConvergenceProbe:
+    service_name: str
+    bandwidth_bps: float
+    steady_levels: tuple[int, ...]
+    steady_switches: int
+    modal_declared_bps: float | None
+    stable: bool
+
+    @property
+    def aggressiveness(self) -> float | None:
+        """Converged declared bitrate relative to available bandwidth."""
+        if self.modal_declared_bps is None:
+            return None
+        return self.modal_declared_bps / self.bandwidth_bps
+
+
+def probe_convergence(
+    spec_or_name,
+    bandwidth_bps: float,
+    *,
+    duration_s: float = 300.0,
+    warmup_s: float = 120.0,
+    dt: float = 0.1,
+    max_stable_levels: int = 2,
+    max_stable_switches: int = 3,
+) -> ConvergenceProbe:
+    result = run_session(
+        spec_or_name,
+        ConstantSchedule(bandwidth_bps),
+        duration_s=duration_s,
+        content_duration_s=duration_s + 200.0,
+        dt=dt,
+    )
+    steady = [
+        d
+        for d in result.analyzer.media_downloads(StreamType.VIDEO)
+        if d.completed_at >= warmup_s
+    ]
+    levels = [d.level for d in steady]
+    switches = sum(1 for a, b in zip(levels, levels[1:]) if a != b)
+    modal_declared = None
+    if steady:
+        time_per_declared: dict[float, float] = {}
+        for d in steady:
+            key = d.declared_bitrate_bps
+            time_per_declared[key] = time_per_declared.get(key, 0.0) + d.duration_s
+        modal_declared = max(time_per_declared, key=time_per_declared.get)
+    stable = (
+        len(set(levels)) <= max_stable_levels and switches <= max_stable_switches
+    )
+    return ConvergenceProbe(
+        service_name=result.service_name,
+        bandwidth_bps=bandwidth_bps,
+        steady_levels=tuple(sorted(set(levels))),
+        steady_switches=switches,
+        modal_declared_bps=modal_declared,
+        stable=stable,
+    )

@@ -1,0 +1,66 @@
+"""Startup-logic probe (section 3.3.1).
+
+"In each experiment we instrument the proxy to reject all segment
+requests after the first n segments.  We gradually increase n and find
+the minimal n required for the player to start playback."  The duration
+of those n segments is the startup buffer duration; the first video
+download reveals the startup track.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.session import run_session
+from repro.media.track import StreamType
+from repro.net.schedule import ConstantSchedule
+from repro.util import mbps
+
+
+@dataclass(frozen=True)
+class StartupProbe:
+    service_name: str
+    startup_segments: int
+    startup_buffer_s: float
+    startup_track_declared_bps: float | None
+
+
+def probe_startup_buffer(
+    spec_or_name,
+    *,
+    max_segments: int = 12,
+    bandwidth_bps: float = mbps(8.0),
+    wait_s: float = 45.0,
+    content_duration_s: float = 180.0,
+    dt: float = 0.1,
+) -> StartupProbe:
+    """Find the minimal segment count a service needs to start playback."""
+    schedule = ConstantSchedule(bandwidth_bps)
+    last_result = None
+    for n in range(1, max_segments + 1):
+        result = run_session(
+            spec_or_name,
+            schedule,
+            duration_s=wait_s,
+            content_duration_s=content_duration_s,
+            reject_after_segments=n,
+            dt=dt,
+        )
+        last_result = result
+        if result.playback_started:
+            timeline = result.analyzer.video_timeline()
+            buffer_s = sum(duration for _, duration in timeline[:n])
+            videos = result.analyzer.media_downloads(StreamType.VIDEO)
+            first = min(videos, key=lambda d: d.completed_at) if videos else None
+            return StartupProbe(
+                service_name=result.service_name,
+                startup_segments=n,
+                startup_buffer_s=buffer_s,
+                startup_track_declared_bps=(
+                    first.declared_bitrate_bps if first else None
+                ),
+            )
+    raise RuntimeError(
+        f"player did not start even with {max_segments} segments allowed "
+        f"(service {last_result.service_name if last_result else '?'})"
+    )

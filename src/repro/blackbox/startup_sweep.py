@@ -1,0 +1,100 @@
+"""The Figure 15 startup sweep (section 4.3).
+
+Instrumented ExoPlayer plays the Testcard stream with varying segment
+durations, startup tracks and startup segment counts, over 50 one-
+minute bandwidth profiles cut from the 5 lowest 10-minute cellular
+traces.  For each setting the sweep reports the average startup delay
+and the *stall ratio* — the fraction of runs that stalled at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import mean
+from typing import Optional, Sequence
+
+from repro.core.session import run_session
+from repro.net.traces import CellularTrace, cellular_profiles, split_trace
+from repro.services.exoplayer import exoplayer_config, testcard_dash_spec
+
+
+@dataclass(frozen=True)
+class StartupSweepPoint:
+    segment_duration_s: float
+    startup_track_kbps: float
+    startup_segments: int
+    startup_buffer_s: float
+    run_count: int
+    stall_ratio: float
+    mean_startup_delay_s: float
+    started_ratio: float
+
+
+def one_minute_profiles(
+    *, lowest_n: int = 5, chunk_s: int = 60, source_duration_s: int = 600
+) -> list[CellularTrace]:
+    """The 50 one-minute profiles: 10 chunks from each of the 5 lowest."""
+    traces = cellular_profiles(source_duration_s)[:lowest_n]
+    chunks: list[CellularTrace] = []
+    for trace in traces:
+        chunks.extend(split_trace(trace, chunk_s))
+    return chunks
+
+
+def startup_sweep(
+    *,
+    segment_durations_s: Sequence[float] = (4.0, 8.0),
+    startup_tracks_kbps: Sequence[float] = (560.0, 1050.0),
+    startup_segment_counts: Sequence[int] = (1, 2, 3),
+    profiles: Optional[Sequence[CellularTrace]] = None,
+    run_duration_s: float = 60.0,
+    dt: float = 0.1,
+) -> list[StartupSweepPoint]:
+    if profiles is None:
+        profiles = one_minute_profiles()
+    points: list[StartupSweepPoint] = []
+    for segment_duration in segment_durations_s:
+        spec = testcard_dash_spec(segment_duration)
+        for track_kbps in startup_tracks_kbps:
+            for count in startup_segment_counts:
+                startup_buffer_s = count * segment_duration
+                config = exoplayer_config(
+                    startup_buffer_s=startup_buffer_s,
+                    startup_min_segments=count,
+                    startup_track_kbps=track_kbps,
+                    name=f"exo-{segment_duration:.0f}s-{track_kbps:.0f}k-{count}seg",
+                )
+                stalls = 0
+                started = 0
+                delays: list[float] = []
+                for trace in profiles:
+                    result = run_session(
+                        spec,
+                        trace,
+                        duration_s=run_duration_s,
+                        player_config=config,
+                        dt=dt,
+                    )
+                    if result.true_stall_count > 0:
+                        stalls += 1
+                    delay = result.true_startup_delay_s
+                    if delay is not None:
+                        started += 1
+                        delays.append(delay)
+                    else:
+                        # A session that never started counts as stalled:
+                        # the user waited the whole minute.
+                        stalls += 1 if result.true_stall_count == 0 else 0
+                points.append(
+                    StartupSweepPoint(
+                        segment_duration_s=segment_duration,
+                        startup_track_kbps=track_kbps,
+                        startup_segments=count,
+                        startup_buffer_s=startup_buffer_s,
+                        run_count=len(profiles),
+                        stall_ratio=stalls / len(profiles),
+                        mean_startup_delay_s=mean(delays) if delays else float("nan"),
+                        started_ratio=started / len(profiles),
+                    )
+                )
+    return points

@@ -1,0 +1,79 @@
+"""Step-function bandwidth probe (section 3.3.4).
+
+Bandwidth stays high, then drops.  Apps with a *decrease buffer*
+threshold keep streaming the high track until the buffer drains to the
+threshold; the others down-switch immediately even with minutes of
+buffer — the suboptimal behaviour Table 2 flags for H1/H4/H6/D1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.session import run_session
+from repro.media.track import StreamType
+from repro.net.schedule import StepSchedule
+
+
+@dataclass(frozen=True)
+class StepProbe:
+    service_name: str
+    downswitch_at: float | None
+    buffer_at_downswitch_s: float | None
+    immediate_downswitch: bool
+    decrease_buffer_threshold_estimate_s: float | None
+
+
+def probe_step_response(
+    spec_or_name,
+    *,
+    high_bps: float,
+    low_bps: float,
+    step_at_s: float = 150.0,
+    duration_s: float = 420.0,
+    dt: float = 0.1,
+    high_buffer_cutoff_s: float = 60.0,
+) -> StepProbe:
+    """Drop bandwidth at ``step_at_s`` and watch the first down-switch."""
+    schedule = StepSchedule.single_step(high_bps, low_bps, step_at_s)
+    result = run_session(
+        spec_or_name,
+        schedule,
+        duration_s=duration_s,
+        content_duration_s=duration_s + 300.0,
+        dt=dt,
+    )
+    downloads = [
+        d
+        for d in result.analyzer.media_downloads(StreamType.VIDEO)
+        if d.completed_at >= step_at_s
+    ]
+    estimator = result.buffer_estimator
+    previous_level = None
+    before = [
+        d
+        for d in result.analyzer.media_downloads(StreamType.VIDEO)
+        if d.completed_at < step_at_s
+    ]
+    if before:
+        previous_level = before[-1].level
+    for download in downloads:
+        if previous_level is not None and download.level < previous_level:
+            buffer_at = estimator.occupancy_at(
+                download.started_at, StreamType.VIDEO
+            )
+            return StepProbe(
+                service_name=result.service_name,
+                downswitch_at=download.started_at,
+                buffer_at_downswitch_s=buffer_at,
+                immediate_downswitch=buffer_at > high_buffer_cutoff_s,
+                decrease_buffer_threshold_estimate_s=buffer_at,
+            )
+        previous_level = download.level
+    return StepProbe(
+        service_name=result.service_name,
+        downswitch_at=None,
+        buffer_at_downswitch_s=None,
+        immediate_downswitch=False,
+        decrease_buffer_threshold_estimate_s=None,
+    )

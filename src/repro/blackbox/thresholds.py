@@ -1,0 +1,84 @@
+"""Download-control probe (section 3.3.2).
+
+Under ample constant bandwidth every studied app shows a periodic
+on-off download pattern: it pauses when the (inferred) buffer reaches a
+*pausing threshold* and resumes below a *resuming threshold*.  This
+probe measures both from traffic gaps + buffer inference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import median
+
+from repro.core.session import run_session
+from repro.media.track import StreamType
+from repro.net.schedule import ConstantSchedule
+from repro.util import mbps
+
+_GAP_CUTOFF_S = 3.0
+
+
+@dataclass(frozen=True)
+class ThresholdProbe:
+    service_name: str
+    pausing_threshold_s: float | None
+    resuming_threshold_s: float | None
+    cycle_count: int
+
+    @property
+    def gap_s(self) -> float | None:
+        if self.pausing_threshold_s is None or self.resuming_threshold_s is None:
+            return None
+        return self.pausing_threshold_s - self.resuming_threshold_s
+
+
+def _download_gaps(downloads) -> list[tuple[float, float]]:
+    """Maximal idle gaps between merged download activity intervals."""
+    intervals = sorted(
+        (d.started_at, d.completed_at) for d in downloads
+    )
+    if not intervals:
+        return []
+    merged = [list(intervals[0])]
+    for start, end in intervals[1:]:
+        if start <= merged[-1][1] + 1e-9:
+            merged[-1][1] = max(merged[-1][1], end)
+        else:
+            merged.append([start, end])
+    gaps = []
+    for (_, prev_end), (next_start, _) in zip(merged, merged[1:]):
+        if next_start - prev_end >= _GAP_CUTOFF_S:
+            gaps.append((prev_end, next_start))
+    return gaps
+
+
+def probe_download_thresholds(
+    spec_or_name,
+    *,
+    bandwidth_bps: float = mbps(10.0),
+    duration_s: float = 420.0,
+    dt: float = 0.1,
+) -> ThresholdProbe:
+    """Measure pausing/resuming thresholds from the on-off pattern."""
+    result = run_session(
+        spec_or_name,
+        ConstantSchedule(bandwidth_bps),
+        duration_s=duration_s,
+        content_duration_s=duration_s + 400.0,  # never run out of content
+        dt=dt,
+    )
+    downloads = result.analyzer.media_downloads()
+    gaps = _download_gaps(downloads)
+    estimator = result.buffer_estimator
+    pause_samples: list[float] = []
+    resume_samples: list[float] = []
+    for gap_start, gap_end in gaps:
+        pause_samples.append(estimator.occupancy_at(gap_start, StreamType.VIDEO))
+        resume_samples.append(estimator.occupancy_at(gap_end, StreamType.VIDEO))
+    return ThresholdProbe(
+        service_name=result.service_name,
+        pausing_threshold_s=median(pause_samples) if pause_samples else None,
+        resuming_threshold_s=median(resume_samples) if resume_samples else None,
+        cycle_count=len(gaps),
+    )

@@ -1,0 +1,148 @@
+"""The Figure 12 manifest-variant experiment (section 4.2).
+
+Two MPD variants are served through the proxy:
+
+* **variant 1** — each track keeps its declared bitrate but points at
+  the media of the next lower track (lowest track dropped);
+* **variant 2** — the lowest track is dropped, everything else intact.
+
+Track ``i`` therefore has identical declared bitrate in both variants
+but the *actual* bitrate of the next lower track in variant 1.  A
+player that only consults declared bitrates selects the same level for
+both variants under the same constant bandwidth; an actual-bitrate-
+aware player selects a higher level for variant 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.session import run_session
+from repro.manifest.modifier import drop_lowest_track_variant, shift_tracks_variant
+from repro.media.track import StreamType
+from repro.net.schedule import ConstantSchedule
+
+
+def _mpd_only(rewriter):
+    def rewrite(text: str, url: str) -> str:
+        if "<MPD" in text[:400]:
+            return rewriter(text)
+        return text
+
+    return rewrite
+
+
+@dataclass(frozen=True)
+class VariantRun:
+    bandwidth_bps: float
+    variant: str
+    steady_level: int | None
+    steady_declared_bps: float | None
+
+
+@dataclass(frozen=True)
+class VariantExperiment:
+    service_name: str
+    runs: tuple[VariantRun, ...]
+
+    def pair(self, bandwidth_bps: float) -> tuple[VariantRun, VariantRun]:
+        shifted = next(
+            run for run in self.runs
+            if run.variant == "shifted" and run.bandwidth_bps == bandwidth_bps
+        )
+        dropped = next(
+            run for run in self.runs
+            if run.variant == "dropped" and run.bandwidth_bps == bandwidth_bps
+        )
+        return shifted, dropped
+
+    @property
+    def ignores_actual_bitrate(self) -> bool:
+        """True when the player picks the same declared bitrate for both
+        variants — i.e. it only consults declared bitrates.
+
+        An actual-bitrate-aware player selects a *higher* level for the
+        shifted variant (whose media is one quality level cheaper), so
+        the verdict counts how often the shifted run ends up strictly
+        higher.  A majority of equal-or-lower selections means declared-
+        only: selection boundaries plus request overhead can perturb a
+        single bandwidth point either way, so one disagreeing pair does
+        not overturn the verdict (the paper repeats runs for the same
+        reason).
+        """
+        bandwidths = sorted({run.bandwidth_bps for run in self.runs})
+        higher_on_shifted = 0
+        for bandwidth in bandwidths:
+            shifted, dropped = self.pair(bandwidth)
+            if (
+                shifted.steady_declared_bps is not None
+                and dropped.steady_declared_bps is not None
+                and shifted.steady_declared_bps
+                > dropped.steady_declared_bps * 1.05
+            ):
+                higher_on_shifted += 1
+        return higher_on_shifted <= len(bandwidths) // 2
+
+
+def _steady_selection(result, warmup_s: float):
+    """Modal level plus time-weighted mean declared bitrate.
+
+    The mean is the comparison metric: buffer hysteresis makes the
+    modal track jitter around selection boundaries, while the mean
+    moves only if the player systematically selects differently.
+    """
+    steady = [
+        d
+        for d in result.analyzer.media_downloads(StreamType.VIDEO)
+        if d.completed_at >= warmup_s
+    ]
+    if not steady:
+        return None, None
+    time_per: dict[int, float] = {}
+    weighted = 0.0
+    total = 0.0
+    for d in steady:
+        time_per[d.level] = time_per.get(d.level, 0.0) + d.duration_s
+        weighted += d.declared_bitrate_bps * d.duration_s
+        total += d.duration_s
+    level = max(time_per, key=time_per.get)
+    return level, weighted / total
+
+
+def run_variant_experiment(
+    spec_or_name,
+    bandwidths_bps: tuple[float, ...],
+    *,
+    duration_s: float = 240.0,
+    warmup_s: float = 100.0,
+    dt: float = 0.1,
+    player_config=None,
+) -> VariantExperiment:
+    rewriters = {
+        "shifted": _mpd_only(shift_tracks_variant),
+        "dropped": _mpd_only(drop_lowest_track_variant),
+    }
+    runs: list[VariantRun] = []
+    service_name = ""
+    for bandwidth in bandwidths_bps:
+        for variant, rewriter in rewriters.items():
+            result = run_session(
+                spec_or_name,
+                ConstantSchedule(bandwidth),
+                duration_s=duration_s,
+                content_duration_s=duration_s + 120.0,
+                manifest_rewriter=rewriter,
+                dt=dt,
+                player_config=player_config,
+            )
+            service_name = result.service_name
+            level, declared = _steady_selection(result, warmup_s)
+            runs.append(
+                VariantRun(
+                    bandwidth_bps=bandwidth,
+                    variant=variant,
+                    steady_level=level,
+                    steady_declared_bps=declared,
+                )
+            )
+    return VariantExperiment(service_name=service_name, runs=tuple(runs))

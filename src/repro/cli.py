@@ -1,0 +1,163 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the library's main entry points:
+
+* ``run SERVICE [--profile N | --bandwidth MBPS] [--duration S]`` —
+  stream one service and print its QoE report;
+* ``compare [SERVICES...] [--profiles N,N] [--duration S]`` — the
+  cross-sectional comparison table;
+* ``probe SERVICE`` — black-box recovery of a Table 1 column;
+* ``services`` — list the modelled services and their designs;
+* ``profiles`` — list the 14 cellular bandwidth profiles.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.report import render_comparison, render_qoe_report
+from repro.core.experiment import ProfileRun, summarize_runs
+from repro.core.session import run_session
+from repro.net.schedule import ConstantSchedule
+from repro.net.traces import cellular_profiles
+from repro.services import ALL_SERVICE_NAMES, get_service
+from repro.util import mbps, to_mbps
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Dissecting VOD Services for Cellular - reproduction CLI",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = commands.add_parser("run", help="stream one service")
+    run_parser.add_argument("service", choices=ALL_SERVICE_NAMES)
+    run_parser.add_argument("--profile", type=int, default=None,
+                            help="cellular profile id (1-14)")
+    run_parser.add_argument("--bandwidth", type=float, default=None,
+                            help="constant bandwidth in Mbps")
+    run_parser.add_argument("--duration", type=float, default=300.0)
+
+    compare_parser = commands.add_parser("compare",
+                                         help="compare services")
+    compare_parser.add_argument("services", nargs="*",
+                                default=list(ALL_SERVICE_NAMES))
+    compare_parser.add_argument("--profiles", default="2,5,8",
+                                help="comma-separated profile ids")
+    compare_parser.add_argument("--duration", type=float, default=300.0)
+
+    probe_parser = commands.add_parser("probe",
+                                       help="black-box probe a service")
+    probe_parser.add_argument("service", choices=ALL_SERVICE_NAMES)
+
+    commands.add_parser("services", help="list modelled services")
+    commands.add_parser("profiles", help="list cellular profiles")
+    return parser
+
+
+def _schedule_for(args):
+    if args.bandwidth is not None:
+        return ConstantSchedule(mbps(args.bandwidth)), None
+    profiles = cellular_profiles(int(args.duration))
+    profile_id = args.profile if args.profile is not None else 7
+    if not 1 <= profile_id <= len(profiles):
+        raise SystemExit(f"profile must be 1..{len(profiles)}")
+    return profiles[profile_id - 1].as_schedule(), profile_id
+
+
+def _cmd_run(args) -> int:
+    schedule, profile_id = _schedule_for(args)
+    source = (f"profile {profile_id}" if profile_id
+              else f"constant {args.bandwidth} Mbps")
+    print(f"Running {args.service} over {source} for {args.duration:.0f} s")
+    result = run_session(args.service, schedule, duration_s=args.duration)
+    print()
+    print(render_qoe_report(result))
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    profile_ids = [int(part) for part in args.profiles.split(",") if part]
+    profiles = cellular_profiles(int(args.duration))
+    selected = [profiles[pid - 1] for pid in profile_ids]
+    summaries = []
+    for name in args.services:
+        runs = [
+            ProfileRun(
+                service_name=name, profile_id=trace.profile_id, repetition=0,
+                result=run_session(name, trace, duration_s=args.duration),
+            )
+            for trace in selected
+        ]
+        summaries.append(summarize_runs(runs))
+    print(render_comparison(summaries))
+    return 0
+
+
+def _cmd_probe(args) -> int:
+    from repro.blackbox import (
+        probe_convergence,
+        probe_download_thresholds,
+        probe_startup_buffer,
+    )
+
+    print(f"Probing {args.service} ...")
+    startup = probe_startup_buffer(args.service)
+    print(f"startup buffer : {startup.startup_buffer_s:.0f} s "
+          f"({startup.startup_segments} segments), track "
+          f"{(startup.startup_track_declared_bps or 0) / 1e3:.0f} kbps")
+    thresholds = probe_download_thresholds(args.service)
+    print(f"download ctrl  : pause ~{thresholds.pausing_threshold_s:.0f} s, "
+          f"resume ~{thresholds.resuming_threshold_s:.0f} s "
+          f"({thresholds.cycle_count} cycles)")
+    convergence = probe_convergence(args.service, mbps(2.0))
+    print(f"adaptation     : "
+          f"{'stable' if convergence.stable else 'UNSTABLE'}, converged "
+          f"declared {(convergence.modal_declared_bps or 0) / 1e3:.0f} kbps "
+          f"({convergence.aggressiveness:.2f}x of 2 Mbps)")
+    return 0
+
+
+def _cmd_services(args) -> int:
+    print(f"{'svc':4} {'protocol':8} {'seg s':>5} {'audio':>5} "
+          f"{'#TCP':>4} {'persist':>7} {'startup':>9} {'pause/resume':>13}")
+    for name in ALL_SERVICE_NAMES:
+        spec = get_service(name)
+        print(f"{name:4} {spec.protocol.value:8} "
+              f"{spec.segment_duration_s:5.0f} "
+              f"{'sep' if spec.separate_audio else 'mux':>5} "
+              f"{spec.max_tcp:4d} "
+              f"{'yes' if spec.persistent else 'no':>7} "
+              f"{spec.startup_buffer_s:7.0f} s "
+              f"{spec.pausing_threshold_s:5.0f}/"
+              f"{spec.resuming_threshold_s:.0f}")
+    return 0
+
+
+def _cmd_profiles(args) -> int:
+    for trace in cellular_profiles(600):
+        print(f"profile {trace.profile_id:2d}: {trace.scenario.value:10} "
+              f"avg {to_mbps(trace.average_bps):6.2f} Mbps  "
+              f"min {to_mbps(trace.min_bps):5.2f}  "
+              f"max {to_mbps(trace.max_bps):6.2f}")
+    return 0
+
+
+_COMMANDS = {
+    "run": _cmd_run,
+    "compare": _cmd_compare,
+    "probe": _cmd_probe,
+    "services": _cmd_services,
+    "profiles": _cmd_profiles,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,35 @@
+"""Core orchestration: sessions, experiment sweeps, best practices."""
+
+from repro.core.session import Session, SessionResult, run_session
+from repro.core.multi import ClientResult, MultiSession, run_shared_link
+from repro.core.experiment import (
+    ProfileRun,
+    run_service_over_profiles,
+    summarize_runs,
+)
+from repro.core.bestpractices import (
+    BestPractice,
+    Finding,
+    Issue,
+    apply_best_practices,
+    diagnose_service,
+    recommendations_for,
+)
+
+__all__ = [
+    "Session",
+    "SessionResult",
+    "run_session",
+    "ClientResult",
+    "MultiSession",
+    "run_shared_link",
+    "ProfileRun",
+    "run_service_over_profiles",
+    "summarize_runs",
+    "BestPractice",
+    "Finding",
+    "Issue",
+    "apply_best_practices",
+    "diagnose_service",
+    "recommendations_for",
+]

@@ -1,0 +1,259 @@
+"""Issue detection and best-practice recommendations (Table 2, section 3-4).
+
+Detectors operate on *measured* artefacts (analyzer output, buffer
+inference, what-if analysis) — not on service specs — so they find the
+paper's issues the way the paper did: from the outside.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.analysis.whatif import analyze_segment_replacement
+from repro.core.session import SessionResult
+from repro.media.track import StreamType
+from repro.util import kbps, to_kbps
+
+
+class Issue(enum.Enum):
+    """The QoE-impacting issues of Table 2."""
+
+    HIGH_BOTTOM_TRACK = "bitrate of lowest track set high"
+    DECLARED_ONLY_VBR = "adaptation ignores actual segment bitrate"
+    AV_DESYNC = "audio/video downloads out of sync over parallel connections"
+    NON_PERSISTENT_TCP = "non-persistent TCP connections"
+    LOW_RESUME_THRESHOLD = "downloads resume only when buffer almost empty"
+    SINGLE_SEGMENT_STARTUP = "playback starts with one downloaded segment"
+    UNSTABLE_SELECTION = "bitrate selection unstable at constant bandwidth"
+    IMMEDIATE_DOWNSWITCH = "ramps down despite high buffer occupancy"
+    LOSSY_SEGMENT_REPLACEMENT = "replaces buffered segments with worse quality"
+
+
+@dataclass(frozen=True)
+class Finding:
+    issue: Issue
+    evidence: str
+
+
+@dataclass(frozen=True)
+class BestPractice:
+    """A paper recommendation, tied to the issue it mitigates."""
+
+    issue: Issue
+    recommendation: str
+
+
+RECOMMENDATIONS: dict[Issue, BestPractice] = {
+    Issue.HIGH_BOTTOM_TRACK: BestPractice(
+        Issue.HIGH_BOTTOM_TRACK,
+        "set the bitrate of the bottom track reasonably low (<~192-500 kbps) "
+        "for mobile networks",
+    ),
+    Issue.DECLARED_ONLY_VBR: BestPractice(
+        Issue.DECLARED_ONLY_VBR,
+        "expose actual segment bitrates to the adaptation logic and use them "
+        "for track selection",
+    ),
+    Issue.AV_DESYNC: BestPractice(
+        Issue.AV_DESYNC,
+        "ensure tighter synchronization between audio and video downloads",
+    ),
+    Issue.NON_PERSISTENT_TCP: BestPractice(
+        Issue.NON_PERSISTENT_TCP,
+        "use persistent TCP connections to download segments",
+    ),
+    Issue.LOW_RESUME_THRESHOLD: BestPractice(
+        Issue.LOW_RESUME_THRESHOLD,
+        "set both pausing and resuming thresholds reasonably high to absorb "
+        "transient network variability",
+    ),
+    Issue.SINGLE_SEGMENT_STARTUP: BestPractice(
+        Issue.SINGLE_SEGMENT_STARTUP,
+        "enforce the startup buffer in segments (2-3) as well as seconds, and "
+        "start from a low track",
+    ),
+    Issue.UNSTABLE_SELECTION: BestPractice(
+        Issue.UNSTABLE_SELECTION,
+        "avoid unnecessary track switches; stabilize selection under steady "
+        "bandwidth",
+    ),
+    Issue.IMMEDIATE_DOWNSWITCH: BestPractice(
+        Issue.IMMEDIATE_DOWNSWITCH,
+        "take buffer occupancy into account and use the buffer to absorb "
+        "bandwidth drops before switching down",
+    ),
+    Issue.LOSSY_SEGMENT_REPLACEMENT: BestPractice(
+        Issue.LOSSY_SEGMENT_REPLACEMENT,
+        "replace segments individually and only with higher quality; stop "
+        "replacing when the buffer runs low",
+    ),
+}
+
+
+def recommendations_for(findings: Sequence[Finding]) -> list[BestPractice]:
+    return [RECOMMENDATIONS[finding.issue] for finding in findings]
+
+
+# ---------------------------------------------------------------------------
+# Detectors
+# ---------------------------------------------------------------------------
+
+HIGH_BOTTOM_CUTOFF_BPS = kbps(500)
+HIGH_BUFFER_STALL_CUTOFF_S = 30.0
+
+
+def detect_high_bottom_track(result: SessionResult) -> Finding | None:
+    bitrates = result.analyzer.declared_bitrates_bps(StreamType.VIDEO)
+    if bitrates and bitrates[0] > HIGH_BOTTOM_CUTOFF_BPS:
+        return Finding(
+            Issue.HIGH_BOTTOM_TRACK,
+            f"lowest track declared at {to_kbps(bitrates[0]):.0f} kbps",
+        )
+    return None
+
+
+def detect_non_persistent(result: SessionResult) -> Finding | None:
+    stats = result.analyzer.connection_stats(result.proxy.flows)
+    if stats["distinct_connections"] and not stats["persistent"]:
+        return Finding(
+            Issue.NON_PERSISTENT_TCP,
+            "a fresh TCP connection was established for (almost) every request",
+        )
+    return None
+
+
+def detect_av_desync(result: SessionResult) -> Finding | None:
+    """Stalls that happened while plenty of video sat in the buffer."""
+    if not result.analyzer.has_separate_audio:
+        return None
+    estimator = result.buffer_estimator
+    for interval in result.ui.stall_intervals():
+        video = estimator.occupancy_at(interval.start_at, StreamType.VIDEO)
+        audio = estimator.occupancy_at(interval.start_at, StreamType.AUDIO)
+        if video > HIGH_BUFFER_STALL_CUTOFF_S and audio < video / 3:
+            return Finding(
+                Issue.AV_DESYNC,
+                f"stalled at t={interval.start_at:.0f}s with ~{video:.0f}s of "
+                f"video but only ~{audio:.0f}s of audio buffered",
+            )
+    return None
+
+
+def detect_lossy_sr(result: SessionResult) -> Finding | None:
+    whatif = analyze_segment_replacement(result.analyzer.downloads, result.ui)
+    if not whatif.sr_detected:
+        return None
+    lossy = whatif.fraction_replacements("lower") + whatif.fraction_replacements(
+        "equal"
+    )
+    if lossy > 0:
+        return Finding(
+            Issue.LOSSY_SEGMENT_REPLACEMENT,
+            f"{lossy:.0%} of replacements were not higher quality",
+        )
+    return None
+
+
+def detect_unstable_selection(result: SessionResult, *, warmup_s: float = 120.0,
+                              max_steady_levels: int = 2) -> Finding | None:
+    """Under a constant-bandwidth run, did downloads keep switching?"""
+    steady = [
+        d
+        for d in result.analyzer.media_downloads(StreamType.VIDEO)
+        if d.completed_at >= warmup_s
+    ]
+    levels = [d.level for d in steady]
+    switches = sum(1 for a, b in zip(levels, levels[1:]) if a != b)
+    if len(set(levels)) > max_steady_levels and switches >= 4:
+        return Finding(
+            Issue.UNSTABLE_SELECTION,
+            f"{switches} track switches across {len(set(levels))} levels in "
+            "steady state under constant bandwidth",
+        )
+    return None
+
+
+def apply_best_practices(spec) -> "ServiceSpec":
+    """Return a variant of ``spec`` with every paper suggestion applied.
+
+    This is the "what if the service followed the best practices" spec
+    used by the ablation benchmark: same protocol, same content, same
+    server; only the flagged client/server design choices change.
+
+    * bottom track lowered below 500 kbps (a new low rung is added);
+    * persistent TCP connections;
+    * pause/resume gap widened past the LTE RRC demotion timer and the
+      resume threshold raised above the near-empty zone;
+    * startup enforced in segments (>=2) as well as seconds, startup
+      track pinned to the lowest rung, no warmup pinning;
+    * stable, windowed estimation instead of memoryless greed, with a
+      buffer guard on down-switches for large-buffer services;
+    * synchronized audio/video scheduling instead of partitioned pools;
+    * naive tail-discard SR replaced by the improved per-segment SR.
+    """
+    import dataclasses
+
+    from repro.player.config import SchedulerStrategy
+    from repro.services.profiles import ServiceSpec, height_for_kbps
+
+    changes: dict = {"name": f"{spec.name}-fixed"}
+
+    ladder = list(spec.ladder_kbps)
+    heights = (list(spec.ladder_heights) if spec.ladder_heights is not None
+               else [height_for_kbps(rate) for rate in ladder])
+    if ladder[0] > 500:
+        new_bottom = round(ladder[0] / 1.9)
+        ladder.insert(0, new_bottom)
+        heights.insert(0, height_for_kbps(new_bottom))
+        changes["ladder_kbps"] = tuple(ladder)
+        changes["ladder_heights"] = tuple(heights)
+
+    changes["persistent"] = True
+
+    pause = spec.pausing_threshold_s
+    resume = spec.resuming_threshold_s
+    resume = max(resume, 15.0)
+    if pause - resume < 12.0:  # LTE RRC demotion timer ~11 s
+        resume = max(15.0, pause - 15.0)
+    if pause < 30.0:
+        pause = 30.0
+    resume = min(resume, pause - 1.0)
+    changes["pausing_threshold_s"] = pause
+    changes["resuming_threshold_s"] = resume
+
+    changes["startup_min_segments"] = 2
+    changes["startup_bitrate_kbps"] = ladder[0]
+    changes["abr_warmup_segments"] = 1
+
+    changes["abr_unstable"] = False
+    changes["memoryless_estimator"] = False
+    if spec.pausing_threshold_s > 60.0 and spec.decrease_buffer_threshold_s is None:
+        changes["decrease_buffer_threshold_s"] = 30.0
+
+    if spec.strategy is SchedulerStrategy.PARTITIONED_PARALLEL:
+        changes["strategy"] = SchedulerStrategy.SYNCED_AV
+        changes["max_tcp"] = 2
+
+    if spec.performs_sr:
+        changes["performs_sr"] = False
+        changes["improved_sr"] = True
+
+    return dataclasses.replace(spec, **changes)
+
+
+def diagnose_service(result: SessionResult) -> list[Finding]:
+    """Run all per-session detectors (probe-based ones live in blackbox)."""
+    detectors = (
+        detect_high_bottom_track,
+        detect_non_persistent,
+        detect_av_desync,
+        detect_lossy_sr,
+    )
+    findings = []
+    for detector in detectors:
+        finding = detector(result)
+        if finding is not None:
+            findings.append(finding)
+    return findings

@@ -1,0 +1,98 @@
+"""Experiment sweeps: services x cellular profiles (section 2.6).
+
+The paper runs each service against 14 recorded cellular bandwidth
+profiles for 10 minutes, repeating runs to wash out transients.  These
+helpers do the same against the synthetic profiles, with duration and
+repetition knobs so tests and benchmarks can trade fidelity for time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import mean, median
+from typing import Optional, Sequence
+
+from repro.core.session import SessionResult, run_session
+from repro.net.traces import CellularTrace, cellular_profiles
+from repro.player.config import PlayerConfig
+
+
+@dataclass
+class ProfileRun:
+    """One (service, profile, repetition) run."""
+
+    service_name: str
+    profile_id: int
+    repetition: int
+    result: SessionResult
+
+    @property
+    def qoe(self):
+        return self.result.qoe
+
+
+def run_service_over_profiles(
+    spec_or_name,
+    profiles: Optional[Sequence[CellularTrace]] = None,
+    *,
+    duration_s: float = 600.0,
+    repetitions: int = 1,
+    player_config: Optional[PlayerConfig] = None,
+    dt: float = 0.1,
+) -> list[ProfileRun]:
+    """Run a service over every profile (x repetitions)."""
+    if profiles is None:
+        profiles = cellular_profiles(int(duration_s))
+    runs: list[ProfileRun] = []
+    for trace in profiles:
+        for repetition in range(repetitions):
+            result = run_session(
+                spec_or_name,
+                trace,
+                duration_s=duration_s,
+                player_config=player_config,
+                dt=dt,
+                content_seed=11 + repetition,
+            )
+            runs.append(
+                ProfileRun(
+                    service_name=result.service_name,
+                    profile_id=trace.profile_id,
+                    repetition=repetition,
+                    result=result,
+                )
+            )
+    return runs
+
+
+@dataclass(frozen=True)
+class RunSummary:
+    """Aggregates over a set of runs (one service)."""
+
+    service_name: str
+    run_count: int
+    mean_bitrate_bps: float
+    median_stall_s: float
+    mean_stall_s: float
+    stall_run_fraction: float
+    mean_startup_delay_s: float
+    mean_switches_per_minute: float
+    total_bytes: int
+
+
+def summarize_runs(runs: Sequence[ProfileRun]) -> RunSummary:
+    if not runs:
+        raise ValueError("no runs to summarize")
+    qoes = [run.qoe for run in runs]
+    startup = [q.startup_delay_s for q in qoes if q.startup_delay_s is not None]
+    return RunSummary(
+        service_name=runs[0].service_name,
+        run_count=len(runs),
+        mean_bitrate_bps=mean(q.average_displayed_bitrate_bps for q in qoes),
+        median_stall_s=median(q.total_stall_s for q in qoes),
+        mean_stall_s=mean(q.total_stall_s for q in qoes),
+        stall_run_fraction=mean(1.0 if q.stall_count else 0.0 for q in qoes),
+        mean_startup_delay_s=mean(startup) if startup else float("nan"),
+        mean_switches_per_minute=mean(q.switches_per_minute for q in qoes),
+        total_bytes=sum(q.total_bytes for q in qoes),
+    )

@@ -1,0 +1,134 @@
+"""Multiple players sharing one cellular bottleneck.
+
+The paper's related work (FESTIVE, reference [31]) is about fairness
+between concurrent HAS clients on a shared link — a question this
+testbed can answer directly: :class:`MultiSession` runs N independent
+players (possibly different services) against one shaped link, with a
+single proxy capturing all flows, and attributes downloads back to
+each player by URL namespace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.analysis.proxy import Proxy
+from repro.analysis.qoe import QoeReport, compute_qoe
+from repro.analysis.traffic import TrafficAnalyzer
+from repro.analysis.ui import UiMonitor
+from repro.net.clock import Clock
+from repro.net.network import Network
+from repro.net.schedule import BandwidthSchedule
+from repro.player.player import Player
+from repro.server.origin import OriginServer
+from repro.services.profiles import BuiltService, build_service
+
+
+@dataclass
+class ClientResult:
+    """One player's view of a shared-link session."""
+
+    client_id: str
+    service_name: str
+    player: Player
+    analyzer: TrafficAnalyzer
+    ui: UiMonitor
+    qoe: QoeReport
+
+
+class MultiSession:
+    """N players, one link, one clock, one flow capture."""
+
+    def __init__(
+        self,
+        builts: Sequence[BuiltService],
+        server: OriginServer,
+        schedule: BandwidthSchedule,
+        *,
+        dt: float = 0.1,
+        rtt_s: float = 0.05,
+    ):
+        if not builts:
+            raise ValueError("need at least one client")
+        self.builts = list(builts)
+        self.clock = Clock(dt=dt)
+        self.proxy = Proxy(server)
+        self.network = Network(self.clock, self.proxy, schedule, rtt_s=rtt_s)
+        self.network.observers.append(self.proxy)
+        self.players = [
+            Player(self.clock, self.network, built.player_config,
+                   built.manifest_url, cipher=built.cipher)
+            for built in self.builts
+        ]
+
+    def run(self, duration_s: float) -> list[ClientResult]:
+        dt = self.clock.dt
+        while self.clock.now < duration_s - 1e-9:
+            self.network.advance(dt)
+            for player in self.players:
+                player.advance(dt)
+            self.clock.tick()
+            if all(player.ended for player in self.players):
+                break
+        results = []
+        for built, player in zip(self.builts, self.players):
+            marker = f"/{built.asset.asset_id}/"
+            flows = [flow for flow in self.proxy.flows if marker in flow.url]
+            analyzer = TrafficAnalyzer()
+            analyzer.observe_flows(flows)
+            ui = UiMonitor(player.ui_samples)
+            results.append(
+                ClientResult(
+                    client_id=built.asset.asset_id,
+                    service_name=built.spec.name,
+                    player=player,
+                    analyzer=analyzer,
+                    ui=ui,
+                    qoe=compute_qoe(
+                        analyzer, ui,
+                        total_bytes=sum(f.size_bytes or 0 for f in flows
+                                        if f.complete),
+                    ),
+                )
+            )
+        return results
+
+
+def run_shared_link(
+    spec_or_names: Sequence,
+    schedule: BandwidthSchedule,
+    *,
+    duration_s: float = 300.0,
+    content_duration_s: Optional[float] = None,
+    dt: float = 0.1,
+    rtt_s: float = 0.05,
+    content_seed: int = 11,
+) -> list[ClientResult]:
+    """Convenience: host each service and run them on one shared link.
+
+    Each client gets its own content seed so titles differ, and its own
+    URL namespace so flow attribution is unambiguous (even when two
+    clients stream the same service).
+    """
+    server = OriginServer()
+    builts = []
+    for index, spec_or_name in enumerate(spec_or_names):
+        import dataclasses
+
+        from repro.services.profiles import get_service
+
+        spec = (get_service(spec_or_name) if isinstance(spec_or_name, str)
+                else spec_or_name)
+        distinct = dataclasses.replace(spec, name=f"{spec.name}#{index}")
+        builts.append(
+            build_service(
+                distinct,
+                server,
+                duration_s=content_duration_s or duration_s,
+                content_seed=content_seed + index,
+                base_url=f"https://cdn{index}.example.com",
+            )
+        )
+    session = MultiSession(builts, server, schedule, dt=dt, rtt_s=rtt_s)
+    return session.run(duration_s)

@@ -1,0 +1,172 @@
+"""A streaming session: server + proxy + network + player + methodology.
+
+:class:`Session` wires together everything the paper's testbed had —
+origin, man-in-the-middle proxy, `tc`-shaped network, device running
+the app, Xposed UI hook, and an LTE radio — runs the session tick by
+tick, and returns a :class:`SessionResult` carrying both the
+methodology's view (flows → analyzer → QoE) and the ground truth
+(player events) that validates it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.analysis.bufferinfer import BufferEstimator
+from repro.analysis.proxy import ManifestRewriter, Proxy, SegmentLimitRejector
+from repro.analysis.qoe import QoeReport, compute_qoe
+from repro.analysis.traffic import TrafficAnalyzer
+from repro.analysis.ui import UiMonitor
+from repro.net.clock import Clock
+from repro.net.network import Network
+from repro.net.rrc import RrcMachine
+from repro.net.schedule import BandwidthSchedule
+from repro.net.traces import CellularTrace
+from repro.player.config import PlayerConfig
+from repro.player.events import EventLog
+from repro.player.player import Player, PlayerState
+from repro.server.origin import OriginServer
+from repro.services.profiles import BuiltService, build_service
+
+
+@dataclass
+class SessionResult:
+    """Everything one session produced."""
+
+    service_name: str
+    duration_s: float
+    player_state: PlayerState
+    events: EventLog = field(repr=False, default=None)  # type: ignore[assignment]
+    proxy: Proxy = field(repr=False, default=None)  # type: ignore[assignment]
+    analyzer: TrafficAnalyzer = field(repr=False, default=None)  # type: ignore[assignment]
+    ui: UiMonitor = field(repr=False, default=None)  # type: ignore[assignment]
+    qoe: QoeReport = field(repr=False, default=None)  # type: ignore[assignment]
+    rrc: RrcMachine = field(repr=False, default=None)  # type: ignore[assignment]
+    player: Player = field(repr=False, default=None)  # type: ignore[assignment]
+
+    @property
+    def buffer_estimator(self) -> BufferEstimator:
+        return BufferEstimator(self.analyzer, self.ui)
+
+    # Ground-truth shortcuts (validated against the methodology in tests)
+
+    @property
+    def true_stall_s(self) -> float:
+        return self.events.total_stall_s()
+
+    @property
+    def true_stall_count(self) -> int:
+        return self.events.stall_count()
+
+    @property
+    def true_startup_delay_s(self) -> float | None:
+        return self.events.startup_delay_s()
+
+    @property
+    def playback_started(self) -> bool:
+        return self.true_startup_delay_s is not None
+
+
+class Session:
+    """One configured run of one service over one bandwidth schedule."""
+
+    def __init__(
+        self,
+        built: BuiltService,
+        server: OriginServer,
+        schedule: BandwidthSchedule,
+        *,
+        dt: float = 0.1,
+        rtt_s: float = 0.05,
+        manifest_rewriter: Optional[ManifestRewriter] = None,
+        reject_after_segments: Optional[int] = None,
+        player_config: Optional[PlayerConfig] = None,
+    ):
+        self.built = built
+        self.clock = Clock(dt=dt)
+        self.proxy = Proxy(server)
+        self.network = Network(self.clock, self.proxy, schedule, rtt_s=rtt_s)
+        self.network.observers.append(self.proxy)
+        self.rrc = RrcMachine()
+        if manifest_rewriter is not None:
+            self.proxy.manifest_rewriter = manifest_rewriter
+        self.live_analyzer: Optional[TrafficAnalyzer] = None
+        if reject_after_segments is not None:
+            self.live_analyzer = TrafficAnalyzer()
+            self.proxy.flow_listeners.append(self.live_analyzer.observe_flow)
+            self.proxy.rejector = SegmentLimitRejector(
+                self.live_analyzer, reject_after_segments
+            )
+        self.player = Player(
+            self.clock,
+            self.network,
+            player_config or built.player_config,
+            built.manifest_url,
+            cipher=built.cipher,
+        )
+
+    def run(self, duration_s: float) -> SessionResult:
+        """Tick the world until ``duration_s`` or the session ends."""
+        dt = self.clock.dt
+        while self.clock.now < duration_s - 1e-9:
+            before = self.network.link.total_bytes_delivered
+            self.network.advance(dt)
+            radio_active = self.network.link.total_bytes_delivered > before
+            self.rrc.observe(radio_active, dt)
+            self.player.advance(dt)
+            self.clock.tick()
+            if self.player.ended and not self.player.scheduler.busy:
+                break
+        analyzer = TrafficAnalyzer()
+        analyzer.observe_flows(self.proxy.flows)
+        ui = UiMonitor(self.player.ui_samples)
+        qoe = compute_qoe(analyzer, ui, total_bytes=self.proxy.total_bytes())
+        return SessionResult(
+            service_name=self.built.spec.name,
+            duration_s=self.clock.now,
+            player_state=self.player.state,
+            events=self.player.events,
+            proxy=self.proxy,
+            analyzer=analyzer,
+            ui=ui,
+            qoe=qoe,
+            rrc=self.rrc,
+            player=self.player,
+        )
+
+
+def run_session(
+    spec_or_name,
+    schedule: BandwidthSchedule | CellularTrace,
+    *,
+    duration_s: float = 600.0,
+    content_duration_s: Optional[float] = None,
+    dt: float = 0.1,
+    rtt_s: float = 0.05,
+    player_config: Optional[PlayerConfig] = None,
+    manifest_rewriter: Optional[ManifestRewriter] = None,
+    reject_after_segments: Optional[int] = None,
+    content_seed: int = 11,
+) -> SessionResult:
+    """Convenience: build a fresh server + service and run one session."""
+    if isinstance(schedule, CellularTrace):
+        schedule = schedule.as_schedule()
+    server = OriginServer()
+    built = build_service(
+        spec_or_name,
+        server,
+        duration_s=content_duration_s or duration_s,
+        content_seed=content_seed,
+        player_config=player_config,
+    )
+    session = Session(
+        built,
+        server,
+        schedule,
+        dt=dt,
+        rtt_s=rtt_s,
+        manifest_rewriter=manifest_rewriter,
+        reject_after_segments=reject_after_segments,
+    )
+    return session.run(duration_s)

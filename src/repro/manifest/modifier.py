@@ -1,0 +1,121 @@
+"""Manifest modification: black-box experiment variants and encryption.
+
+Two kinds of manipulation from the paper live here:
+
+* The **Figure 12 variants** used to test whether a player's adaptation
+  logic considers actual segment bitrates: *variant 1* keeps each
+  track's declared bitrate but points it at the media of the next lower
+  quality level (dropping the lowest track); *variant 2* simply drops
+  the lowest track.  Track ``i`` of variant 1 then has the same declared
+  bitrate as track ``i`` of variant 2 but the actual bitrate of track
+  ``i-1`` — a declared-bitrate-only player selects the same level for
+  both variants.
+* **Application-layer manifest encryption** as practised by D3
+  (footnote 4): the MPD body is unreadable to a man in the middle, but
+  sidx boxes still travel in cleartext.
+"""
+
+from __future__ import annotations
+
+import base64
+from dataclasses import dataclass
+from xml.etree import ElementTree
+
+from repro.manifest.types import ManifestError
+
+# Keep the MPD's default namespace on re-serialisation (otherwise
+# ElementTree emits ns0: prefixes and the result stops looking like an
+# MPD to simple protocol detection).
+ElementTree.register_namespace("", "urn:mpeg:dash:schema:mpd:2011")
+
+
+@dataclass(frozen=True)
+class ManifestCipher:
+    """A toy symmetric cipher standing in for D3's app-layer encryption.
+
+    The point is not cryptographic strength but the *information
+    boundary*: ciphertext is not parseable as a manifest, and only a
+    client holding the key (the app itself) can read it.
+    """
+
+    key: bytes = b"repro-d3-manifest-key"
+    _MARKER = "ENCMANIFESTv1:"
+
+    def encrypt(self, text: str) -> str:
+        raw = text.encode("utf-8")
+        mixed = bytes(b ^ self.key[i % len(self.key)] for i, b in enumerate(raw))
+        return self._MARKER + base64.b64encode(mixed).decode("ascii")
+
+    def decrypt(self, text: str) -> str:
+        if not self.is_encrypted(text):
+            raise ManifestError("text is not an encrypted manifest")
+        mixed = base64.b64decode(text[len(self._MARKER):])
+        raw = bytes(b ^ self.key[i % len(self.key)] for i, b in enumerate(mixed))
+        return raw.decode("utf-8")
+
+    @classmethod
+    def is_encrypted(cls, text: str) -> bool:
+        return text.startswith(cls._MARKER)
+
+
+def _video_representations(root: ElementTree.Element):
+    """Yield (adaptation_set, sorted video representations) pairs."""
+    def local(tag: str) -> str:
+        return tag.rsplit("}", 1)[-1]
+
+    for period in root:
+        if local(period.tag) != "Period":
+            continue
+        for adaptation in period:
+            if local(adaptation.tag) != "AdaptationSet":
+                continue
+            content_type = adaptation.get("contentType") or ""
+            mime = adaptation.get("mimeType") or ""
+            if content_type == "audio" or mime.startswith("audio"):
+                continue
+            representations = [
+                child for child in adaptation
+                if local(child.tag) == "Representation"
+            ]
+            representations.sort(key=lambda rep: float(rep.get("bandwidth") or 0))
+            yield adaptation, representations
+
+
+def _parse_mpd_root(mpd_text: str) -> ElementTree.Element:
+    try:
+        root = ElementTree.fromstring(mpd_text)
+    except ElementTree.ParseError as exc:
+        raise ManifestError(f"cannot modify malformed MPD: {exc}") from exc
+    return root
+
+
+def shift_tracks_variant(mpd_text: str) -> str:
+    """Build Figure 12's *variant 1* from an MPD.
+
+    Each video Representation keeps its declared ``bandwidth`` but takes
+    the media-addressing children (BaseURL, SegmentBase, SegmentList) of
+    the next lower Representation; the lowest is removed.
+    """
+    root = _parse_mpd_root(mpd_text)
+    for adaptation, representations in _video_representations(root):
+        if len(representations) < 2:
+            raise ManifestError("need at least two video tracks to shift")
+        media_children = [list(rep) for rep in representations]
+        for i in range(1, len(representations)):
+            rep = representations[i]
+            for child in list(rep):
+                rep.remove(child)
+            for child in media_children[i - 1]:
+                rep.append(child)
+        adaptation.remove(representations[0])
+    return ElementTree.tostring(root, encoding="unicode", xml_declaration=True)
+
+
+def drop_lowest_track_variant(mpd_text: str) -> str:
+    """Build Figure 12's *variant 2*: remove the lowest video track."""
+    root = _parse_mpd_root(mpd_text)
+    for adaptation, representations in _video_representations(root):
+        if len(representations) < 2:
+            raise ManifestError("need at least two video tracks to drop one")
+        adaptation.remove(representations[0])
+    return ElementTree.tostring(root, encoding="unicode", xml_declaration=True)

@@ -1,0 +1,176 @@
+"""Microsoft SmoothStreaming client manifest.
+
+Implements the ``SmoothStreamingMedia`` XML manifest with per-stream
+``StreamIndex`` elements, ``QualityLevel`` children and ``c`` (chunk)
+duration entries, plus the ``QualityLevels({bitrate})/Fragments(...)``
+URL template.  SmoothStreaming manifests expose chunk durations but not
+chunk sizes, so (like HLS) clients cannot know actual bitrates before
+downloading.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from xml.etree import ElementTree
+
+from repro.media.track import MediaAsset, StreamType, Track
+from repro.manifest.types import (
+    ClientManifest,
+    ClientSegmentInfo,
+    ClientTrackInfo,
+    ManifestError,
+    Protocol,
+)
+
+TIMESCALE = 10_000_000  # SmoothStreaming fixed 100 ns timescale
+
+
+@dataclass(frozen=True)
+class SmoothBuilder:
+    """Generates the manifest text and URL namespace for one asset."""
+
+    base_url: str
+    asset: MediaAsset
+
+    @property
+    def manifest_url(self) -> str:
+        return f"{self.base_url}/{self.asset.asset_id}/Manifest"
+
+    def fragment_url(self, track: Track, index: int) -> str:
+        start_ticks = int(round(track.segment(index).start_s * TIMESCALE))
+        media = track.stream_type.value
+        return (
+            f"{self.base_url}/{self.asset.asset_id}/"
+            f"QualityLevels({int(track.declared_bitrate_bps)})/"
+            f"Fragments({media}={start_ticks})"
+        )
+
+    def manifest(self) -> str:
+        root = ElementTree.Element(
+            "SmoothStreamingMedia",
+            {
+                "MajorVersion": "2",
+                "MinorVersion": "0",
+                "Duration": str(int(round(self.asset.duration_s * TIMESCALE))),
+                "TimeScale": str(TIMESCALE),
+            },
+        )
+        self._stream_index(root, self.asset.video_tracks, StreamType.VIDEO)
+        if self.asset.audio_tracks:
+            self._stream_index(root, self.asset.audio_tracks, StreamType.AUDIO)
+        return ElementTree.tostring(root, encoding="unicode", xml_declaration=True)
+
+    def _stream_index(
+        self,
+        root: ElementTree.Element,
+        tracks: tuple[Track, ...],
+        stream_type: StreamType,
+    ) -> None:
+        media = stream_type.value
+        stream = ElementTree.SubElement(
+            root,
+            "StreamIndex",
+            {
+                "Type": media,
+                "Chunks": str(tracks[0].segment_count),
+                "QualityLevels": str(len(tracks)),
+                "Url": f"QualityLevels({{bitrate}})/Fragments({media}={{start time}})",
+            },
+        )
+        for track in tracks:
+            attrs = {
+                "Index": str(track.level),
+                "Bitrate": str(int(track.declared_bitrate_bps)),
+            }
+            if stream_type is StreamType.VIDEO:
+                width, height = track.resolution.split("x")
+                attrs.update({"MaxWidth": width, "MaxHeight": height, "FourCC": "H264"})
+            else:
+                attrs.update({"SamplingRate": "48000", "Channels": "2"})
+            ElementTree.SubElement(stream, "QualityLevel", attrs)
+        for seg in tracks[0].segments:
+            attrs = {"d": str(int(round(seg.duration_s * TIMESCALE)))}
+            if seg.index == 0:
+                attrs["t"] = "0"
+            ElementTree.SubElement(stream, "c", attrs)
+
+
+def parse_smooth_manifest(text: str, url: str) -> ClientManifest:
+    """Parse a SmoothStreaming manifest into a :class:`ClientManifest`.
+
+    Fragment URLs are expanded from the StreamIndex URL template, so
+    segment lists are available immediately (sizes unknown).
+    """
+    try:
+        root = ElementTree.fromstring(text)
+    except ElementTree.ParseError as exc:
+        raise ManifestError(f"manifest is not well-formed XML: {exc}") from exc
+    if root.tag != "SmoothStreamingMedia":
+        raise ManifestError(f"not a SmoothStreaming manifest (root {root.tag!r})")
+    base = url.rsplit("/", 1)[0]
+
+    video: list[ClientTrackInfo] = []
+    audio: list[ClientTrackInfo] = []
+    for stream in root:
+        if stream.tag != "StreamIndex":
+            continue
+        media = (stream.get("Type") or "").lower()
+        if media == "video":
+            stream_type = StreamType.VIDEO
+        elif media == "audio":
+            stream_type = StreamType.AUDIO
+        else:
+            continue
+        template = stream.get("Url")
+        if template is None:
+            raise ManifestError("StreamIndex missing Url template")
+        timescale = int(stream.get("TimeScale") or root.get("TimeScale") or TIMESCALE)
+        chunks: list[tuple[int, int]] = []  # (start_ticks, duration_ticks)
+        position = 0
+        quality_levels = []
+        for child in stream:
+            if child.tag == "QualityLevel":
+                quality_levels.append(child)
+            elif child.tag == "c":
+                start = int(child.get("t") or position)
+                duration = int(child.get("d") or 0)
+                if duration <= 0:
+                    raise ManifestError("chunk with non-positive duration")
+                chunks.append((start, duration))
+                position = start + duration
+        if not chunks:
+            raise ManifestError(f"StreamIndex {media} lists no chunks")
+        for level in quality_levels:
+            bitrate = level.get("Bitrate")
+            if bitrate is None:
+                raise ManifestError("QualityLevel missing Bitrate")
+            height = level.get("MaxHeight")
+            width = level.get("MaxWidth")
+            segments = []
+            for index, (start, duration) in enumerate(chunks):
+                fragment = template.replace("{bitrate}", bitrate).replace(
+                    "{start time}", str(start)
+                )
+                segments.append(
+                    ClientSegmentInfo(
+                        index=index,
+                        start_s=start / timescale,
+                        duration_s=duration / timescale,
+                        url=f"{base}/{fragment}",
+                    )
+                )
+            track = ClientTrackInfo(
+                track_key=f"{media}/{bitrate}",
+                stream_type=stream_type,
+                level=0,
+                declared_bitrate_bps=float(bitrate),
+                height=int(height) if height else None,
+                resolution=f"{width}x{height}" if width and height else None,
+                segments=segments,
+            )
+            (video if stream_type is StreamType.VIDEO else audio).append(track)
+    if not video:
+        raise ManifestError("manifest has no video quality levels")
+    return ClientManifest(
+        protocol=Protocol.SMOOTH, video_tracks=video, audio_tracks=audio
+    )

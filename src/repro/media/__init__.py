@@ -1,0 +1,55 @@
+"""Media substrate: content model, encoder and track/segment types.
+
+This package models the server-side media pipeline of an HAS service:
+a piece of video content with time-varying scene complexity is encoded
+into a ladder of tracks (CBR or VBR), each broken into segments whose
+sizes the rest of the testbed treats as ground truth.
+"""
+
+from repro.media.content import (
+    SceneComplexity,
+    VideoContent,
+    generate_scene_complexity,
+)
+from repro.media.encoder import (
+    DeclaredBitratePolicy,
+    Encoder,
+    EncoderSettings,
+    EncodingMode,
+    LadderRung,
+)
+from repro.media.track import (
+    MediaAsset,
+    Segment,
+    StreamType,
+    Track,
+    segment_grid,
+)
+from repro.media.catalog import (
+    Catalog,
+    CatalogConsistency,
+    CatalogTitle,
+    build_catalog,
+    check_catalog_consistency,
+)
+
+__all__ = [
+    "SceneComplexity",
+    "VideoContent",
+    "generate_scene_complexity",
+    "DeclaredBitratePolicy",
+    "Encoder",
+    "EncoderSettings",
+    "EncodingMode",
+    "LadderRung",
+    "MediaAsset",
+    "Segment",
+    "StreamType",
+    "Track",
+    "segment_grid",
+    "Catalog",
+    "CatalogConsistency",
+    "CatalogTitle",
+    "build_catalog",
+    "check_catalog_consistency",
+]

@@ -1,0 +1,145 @@
+"""Video content model.
+
+Real VBR encoders produce segment sizes that track scene complexity:
+high-motion scenes need more bits than static ones at equal quality.
+The paper's VBR findings (actual segment bitrates varying by 2x or more
+within one track, peak roughly twice the average for D1/D2) come from
+this variability, so we model content as a per-second *scene complexity*
+trace and let the encoder turn complexity into bytes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.util import DeterministicRng, check_positive
+
+
+@dataclass(frozen=True)
+class SceneComplexity:
+    """A per-second multiplicative complexity trace with mean ~1.0."""
+
+    values: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise ValueError("complexity trace must not be empty")
+        if any(v <= 0 for v in self.values):
+            raise ValueError("complexity values must be positive")
+
+    @property
+    def duration_s(self) -> int:
+        return len(self.values)
+
+    def at(self, time_s: float) -> float:
+        """Complexity at ``time_s``; the trace repeats beyond its end."""
+        if time_s < 0:
+            raise ValueError(f"time_s must be non-negative, got {time_s}")
+        return self.values[int(time_s) % len(self.values)]
+
+    def mean_over(self, start_s: float, duration_s: float) -> float:
+        """Average complexity over the window ``[start_s, start_s + duration_s)``.
+
+        Integrates the piecewise-constant trace exactly, including
+        fractional first and last seconds.
+        """
+        check_positive("duration_s", duration_s)
+        total = 0.0
+        t = start_s
+        end = start_s + duration_s
+        while t < end - 1e-9:
+            next_boundary = math.floor(t) + 1.0
+            span = min(next_boundary, end) - t
+            total += self.at(t) * span
+            t = min(next_boundary, end)
+        return total / duration_s
+
+    def peak_over(self, start_s: float, duration_s: float) -> float:
+        """Maximum per-second complexity in the window."""
+        check_positive("duration_s", duration_s)
+        first = int(start_s)
+        last = int(math.ceil(start_s + duration_s)) - 1
+        return max(self.at(float(s)) for s in range(first, last + 1))
+
+
+def generate_scene_complexity(
+    duration_s: int,
+    seed: int,
+    *,
+    scene_mean_length_s: float = 8.0,
+    variability: float = 0.45,
+    peak_to_mean: float = 2.0,
+) -> SceneComplexity:
+    """Generate a complexity trace of ``duration_s`` seconds.
+
+    The trace is piecewise: scenes of exponentially distributed length
+    each get a base complexity (lognormal), with small per-second AR(1)
+    wobble inside the scene.  The result is normalised to mean 1.0 and
+    softly compressed so the per-second peak lands near ``peak_to_mean``
+    (the ratio the paper reports for VBR services such as D1 and D2).
+    """
+    check_positive("duration_s", duration_s)
+    check_positive("scene_mean_length_s", scene_mean_length_s)
+    check_positive("peak_to_mean", peak_to_mean)
+    rng = DeterministicRng(seed)
+    scene_rng = rng.child("scene")
+    wobble_rng = rng.child("wobble")
+
+    values: list[float] = []
+    sigma_log = math.sqrt(math.log(1.0 + variability * variability))
+    while len(values) < duration_s:
+        scene_len = max(1, int(round(scene_rng.exponential(1.0 / scene_mean_length_s))))
+        base = scene_rng.lognormal(-0.5 * sigma_log * sigma_log, sigma_log)
+        wobble = wobble_rng.ar1_series(
+            scene_len, mean=1.0, sigma=0.08, rho=0.6, low=0.6, high=1.4
+        )
+        values.extend(base * w for w in wobble)
+    values = values[:duration_s]
+
+    mean = sum(values) / len(values)
+    values = [v / mean for v in values]
+
+    # Clamp peaks towards the requested peak-to-mean ratio so
+    # declared-bitrate-at-peak policies stay near 2x the average.
+    # Clamping lowers the mean, so clamp and renormalise until both the
+    # unit mean and the peak bound hold simultaneously.
+    for _ in range(4):
+        values = [min(v, peak_to_mean) for v in values]
+        mean = sum(values) / len(values)
+        values = [v / mean for v in values]
+        if max(values) <= peak_to_mean * 1.02:
+            break
+    return SceneComplexity(tuple(values))
+
+
+@dataclass(frozen=True)
+class VideoContent:
+    """A piece of content: identity, duration and complexity trace."""
+
+    content_id: str
+    duration_s: float
+    complexity: SceneComplexity = field(repr=False)
+
+    def __post_init__(self) -> None:
+        check_positive("duration_s", self.duration_s)
+
+    @classmethod
+    def generate(
+        cls,
+        content_id: str,
+        duration_s: float,
+        seed: int,
+        **complexity_kwargs,
+    ) -> "VideoContent":
+        """Create content with a seeded complexity trace."""
+        trace = generate_scene_complexity(
+            int(math.ceil(duration_s)), seed, **complexity_kwargs
+        )
+        return cls(content_id=content_id, duration_s=duration_s, complexity=trace)
+
+    @classmethod
+    def constant(cls, content_id: str, duration_s: float) -> "VideoContent":
+        """Content with flat complexity (useful for CBR-like tests)."""
+        trace = SceneComplexity(tuple([1.0] * int(math.ceil(duration_s))))
+        return cls(content_id=content_id, duration_s=duration_s, complexity=trace)

@@ -1,0 +1,77 @@
+"""Network substrate: fluid TCP over a shaped bottleneck, HTTP, traces.
+
+The simulation is discrete-time (default 100 ms ticks): each tick the
+bottleneck link's capacity is read from a :class:`BandwidthSchedule`,
+shared among active TCP connections by water-filling (connections still
+in slow start are capped by their congestion window), and the delivered
+bytes advance HTTP transfers.  This first-order model is enough to
+reproduce every transport-level phenomenon the paper reports:
+handshake + slow-start penalties for non-persistent connections,
+contention between parallel downloads, and stalls under low bandwidth.
+"""
+
+from repro.net.clock import Clock
+from repro.net.schedule import (
+    BandwidthSchedule,
+    ConstantSchedule,
+    StepSchedule,
+    TraceSchedule,
+)
+from repro.net.tcp import TcpConnection, TcpConnectionState, Transfer
+from repro.net.link import BottleneckLink, water_fill
+from repro.net.http import (
+    HttpMethod,
+    HttpRequest,
+    HttpResponse,
+    HttpStatus,
+    RequestHandler,
+    ResponsePlan,
+)
+from repro.net.network import Network, NetworkObserver
+from repro.net.traces import (
+    CellularTrace,
+    Scenario,
+    cellular_profiles,
+    generate_trace,
+    split_trace,
+)
+from repro.net.rrc import RrcConfig, RrcMachine, RrcState
+from repro.net.emulator import (
+    ClampedSchedule,
+    ConcatSchedule,
+    JitteredSchedule,
+    ScaledSchedule,
+)
+
+__all__ = [
+    "Clock",
+    "BandwidthSchedule",
+    "ConstantSchedule",
+    "StepSchedule",
+    "TraceSchedule",
+    "TcpConnection",
+    "TcpConnectionState",
+    "Transfer",
+    "BottleneckLink",
+    "water_fill",
+    "HttpMethod",
+    "HttpRequest",
+    "HttpResponse",
+    "HttpStatus",
+    "ResponsePlan",
+    "Network",
+    "NetworkObserver",
+    "RequestHandler",
+    "CellularTrace",
+    "Scenario",
+    "cellular_profiles",
+    "generate_trace",
+    "split_trace",
+    "RrcConfig",
+    "RrcMachine",
+    "RrcState",
+    "ClampedSchedule",
+    "ConcatSchedule",
+    "JitteredSchedule",
+    "ScaledSchedule",
+]

@@ -1,0 +1,28 @@
+"""Simulation clock."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util import check_positive
+
+
+@dataclass
+class Clock:
+    """Discrete simulation time.
+
+    ``now`` only moves forward via :meth:`tick`, in steps of ``dt``
+    seconds.  All components read the same clock so there is a single
+    notion of time per session.
+    """
+
+    dt: float = 0.1
+    now: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_positive("dt", self.dt)
+
+    def tick(self) -> float:
+        """Advance one step and return the new time."""
+        self.now = round(self.now + self.dt, 9)
+        return self.now

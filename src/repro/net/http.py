@@ -1,0 +1,121 @@
+"""HTTP request/response types used over the fluid TCP model.
+
+Responses carry either opaque media bytes (we track only sizes) or real
+payload text/bytes for manifests and sidx boxes, which is what lets the
+client and the traffic analyzer genuinely parse what went over the wire.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Protocol
+
+from repro.util import check_positive
+
+
+class HttpMethod(enum.Enum):
+    GET = "GET"
+    HEAD = "HEAD"
+
+
+class HttpStatus(enum.IntEnum):
+    OK = 200
+    PARTIAL_CONTENT = 206
+    FORBIDDEN = 403
+    NOT_FOUND = 404
+
+
+@dataclass(frozen=True)
+class HttpRequest:
+    """A client request; ``byte_range`` is inclusive, as in HTTP Range."""
+
+    url: str
+    method: HttpMethod = HttpMethod.GET
+    byte_range: tuple[int, int] | None = None
+
+    def __post_init__(self) -> None:
+        if self.byte_range is not None:
+            start, end = self.byte_range
+            if start < 0 or end < start:
+                raise ValueError(f"bad byte range {self.byte_range}")
+
+    @property
+    def range_length(self) -> int | None:
+        if self.byte_range is None:
+            return None
+        return self.byte_range[1] - self.byte_range[0] + 1
+
+
+@dataclass(frozen=True)
+class ResponsePlan:
+    """What the server (or proxy) decides to send back."""
+
+    status: HttpStatus
+    size_bytes: int
+    text: Optional[str] = None
+    data: Optional[bytes] = None
+
+    def __post_init__(self) -> None:
+        check_positive("size_bytes", self.size_bytes)
+
+    @classmethod
+    def ok_text(cls, text: str) -> "ResponsePlan":
+        return cls(
+            status=HttpStatus.OK,
+            size_bytes=max(1, len(text.encode("utf-8"))),
+            text=text,
+        )
+
+    @classmethod
+    def ok_data(cls, data: bytes, partial: bool = False) -> "ResponsePlan":
+        status = HttpStatus.PARTIAL_CONTENT if partial else HttpStatus.OK
+        return cls(status=status, size_bytes=max(1, len(data)), data=data)
+
+    @classmethod
+    def ok_opaque(cls, size_bytes: int, partial: bool = False) -> "ResponsePlan":
+        status = HttpStatus.PARTIAL_CONTENT if partial else HttpStatus.OK
+        return cls(status=status, size_bytes=size_bytes)
+
+    @classmethod
+    def error(cls, status: HttpStatus) -> "ResponsePlan":
+        return cls(status=status, size_bytes=128)
+
+    @property
+    def is_success(self) -> bool:
+        return self.status in (HttpStatus.OK, HttpStatus.PARTIAL_CONTENT)
+
+
+@dataclass
+class HttpResponse:
+    """A completed (fully delivered) response, with transfer timings."""
+
+    request: HttpRequest
+    status: HttpStatus
+    size_bytes: int
+    connection_id: str
+    started_at: float
+    first_byte_at: float
+    completed_at: float
+    text: Optional[str] = None
+    data: Optional[bytes] = None
+
+    @property
+    def is_success(self) -> bool:
+        return self.status in (HttpStatus.OK, HttpStatus.PARTIAL_CONTENT)
+
+    @property
+    def duration_s(self) -> float:
+        return self.completed_at - self.started_at
+
+    @property
+    def throughput_bps(self) -> float:
+        """Application-level goodput over the whole request lifetime."""
+        duration = max(self.duration_s, 1e-9)
+        return self.size_bytes * 8.0 / duration
+
+
+class RequestHandler(Protocol):
+    """Server side of the HTTP exchange (origin server, or a proxy)."""
+
+    def handle(self, request: HttpRequest) -> ResponsePlan: ...

@@ -1,0 +1,75 @@
+"""Bottleneck link with max-min fair sharing.
+
+All of a session's TCP connections share one shaped downlink (the
+cellular bottleneck).  Capacity each tick is divided by *water-filling*:
+connections whose congestion window caps them below the equal share
+release the remainder to the others, which is how real flows sharing a
+shaped queue behave to first order.
+"""
+
+from __future__ import annotations
+
+from repro.net.tcp import TcpConnection
+from repro.util import check_non_negative, check_positive
+
+
+def water_fill(capacity: float, demands: list[float]) -> list[float]:
+    """Max-min fair allocation of ``capacity`` to ``demands``.
+
+    Returns one allocation per demand, never exceeding the demand, with
+    the total never exceeding capacity.
+    """
+    check_non_negative("capacity", capacity)
+    for demand in demands:
+        check_non_negative("demand", demand)
+    allocations = [0.0] * len(demands)
+    unsatisfied = [i for i, demand in enumerate(demands) if demand > 0]
+    remaining = capacity
+    while unsatisfied and remaining > 1e-12:
+        share = remaining / len(unsatisfied)
+        satisfied_now = [
+            i for i in unsatisfied if demands[i] - allocations[i] <= share + 1e-12
+        ]
+        if satisfied_now:
+            for i in satisfied_now:
+                remaining -= demands[i] - allocations[i]
+                allocations[i] = demands[i]
+            unsatisfied = [i for i in unsatisfied if i not in set(satisfied_now)]
+        else:
+            for i in unsatisfied:
+                allocations[i] += share
+            remaining = 0.0
+    return allocations
+
+
+class BottleneckLink:
+    """The shared shaped downlink."""
+
+    def __init__(self) -> None:
+        self.capacity_bps = 0.0
+        self.total_bytes_delivered = 0.0
+
+    def set_capacity(self, capacity_bps: float) -> None:
+        check_non_negative("capacity_bps", capacity_bps)
+        self.capacity_bps = capacity_bps
+
+    def advance(
+        self, connections: list[TcpConnection], dt: float, now: float
+    ) -> list:
+        """Move one tick of bytes; returns transfers that completed."""
+        check_positive("dt", dt)
+        for connection in connections:
+            connection.advance_control(dt)
+        demands = [connection.rate_cap_bps() for connection in connections]
+        allocations = water_fill(self.capacity_bps, demands)
+        completed = []
+        for connection, rate_bps in zip(connections, allocations):
+            num_bytes = rate_bps * dt / 8.0
+            if num_bytes <= 0:
+                continue
+            before = connection.total_bytes_received
+            transfer = connection.deliver(num_bytes, now)
+            self.total_bytes_delivered += connection.total_bytes_received - before
+            if transfer is not None:
+                completed.append(transfer)
+        return completed

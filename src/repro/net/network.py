@@ -1,0 +1,129 @@
+"""Network facade: ties schedule, link, connections and HTTP together.
+
+The player issues :class:`HttpRequest`s on the connections it manages;
+the network resolves them against the request handler (origin server,
+usually wrapped by the measurement proxy), moves bytes each tick, and
+invokes completion callbacks.  Observers (the proxy's flow recorder)
+see every request start and completion.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Optional, Protocol
+
+from repro.net.clock import Clock
+from repro.net.http import HttpRequest, HttpResponse, ResponsePlan
+from repro.net.link import BottleneckLink
+from repro.net.schedule import BandwidthSchedule
+from repro.net.tcp import TcpConnection, Transfer
+from repro.util import check_non_negative
+
+DEFAULT_HEADER_OVERHEAD_BYTES = 360
+
+
+class NetworkObserver(Protocol):
+    """Sees request starts and completions (used by the proxy)."""
+
+    def on_request(
+        self, request: HttpRequest, plan: ResponsePlan, connection_id: str, now: float
+    ) -> None: ...
+
+    def on_response(self, response: HttpResponse) -> None: ...
+
+
+class Network:
+    """One device's network stack behind the shaped cellular bottleneck."""
+
+    def __init__(
+        self,
+        clock: Clock,
+        handler,
+        schedule: Optional[BandwidthSchedule] = None,
+        *,
+        rtt_s: float = 0.05,
+        header_overhead_bytes: int = DEFAULT_HEADER_OVERHEAD_BYTES,
+    ):
+        check_non_negative("header_overhead_bytes", header_overhead_bytes)
+        self.clock = clock
+        self.handler = handler
+        self.schedule = schedule
+        self.rtt_s = rtt_s
+        self.header_overhead_bytes = header_overhead_bytes
+        self.link = BottleneckLink()
+        self.connections: list[TcpConnection] = []
+        self.observers: list[NetworkObserver] = []
+        self._conn_ids = itertools.count(1)
+
+    # -- connection management --------------------------------------------
+
+    def new_connection(self, label: str = "conn") -> TcpConnection:
+        connection = TcpConnection(
+            conn_id=f"{label}-{next(self._conn_ids)}", rtt_s=self.rtt_s
+        )
+        self.connections.append(connection)
+        return connection
+
+    def drop_connection(self, connection: TcpConnection) -> None:
+        if connection.transfer is not None:
+            raise RuntimeError(f"{connection.conn_id}: dropping mid-transfer")
+        connection.close()
+        self.connections.remove(connection)
+
+    # -- requests -----------------------------------------------------------
+
+    def request(
+        self,
+        connection: TcpConnection,
+        request: HttpRequest,
+        on_complete: Callable[[HttpResponse], None],
+    ) -> Transfer:
+        """Issue ``request`` on ``connection``; completion is async."""
+        if connection not in self.connections:
+            raise RuntimeError(f"unknown connection {connection.conn_id}")
+        plan = self.handler.handle(request)
+        now = self.clock.now
+        # A fresh TCP connection is a new flow (new ephemeral port) in a
+        # packet capture, so observers see an incarnation-qualified id.
+        incarnation = connection.connects + (
+            1 if connection.transfer is None and connection.state.value == "closed"
+            else 0
+        )
+        flow_id = f"{connection.conn_id}:{incarnation}"
+        for observer in self.observers:
+            observer.on_request(request, plan, flow_id, now)
+
+        def finish(transfer: Transfer) -> None:
+            response = HttpResponse(
+                request=request,
+                status=plan.status,
+                size_bytes=plan.size_bytes,
+                connection_id=flow_id,
+                started_at=transfer.started_at or now,
+                first_byte_at=transfer.first_byte_at or self.clock.now,
+                completed_at=self.clock.now,
+                text=plan.text,
+                data=plan.data,
+            )
+            for observer in self.observers:
+                observer.on_response(response)
+            on_complete(response)
+
+        transfer = Transfer(
+            total_bytes=plan.size_bytes + self.header_overhead_bytes,
+            on_complete=finish,
+            context=request,
+        )
+        connection.start_transfer(transfer, now)
+        return transfer
+
+    # -- time ---------------------------------------------------------------
+
+    def advance(self, dt: float) -> None:
+        """Move one tick of bytes and fire completion callbacks."""
+        if self.schedule is not None:
+            self.link.set_capacity(self.schedule.bandwidth_at(self.clock.now))
+        completed = self.link.advance(self.connections, dt, self.clock.now)
+        for transfer in completed:
+            if transfer.on_complete is not None:
+                transfer.on_complete(transfer)

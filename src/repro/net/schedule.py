@@ -1,0 +1,106 @@
+"""Bandwidth schedules: what the network emulator enforces over time.
+
+Mirrors the paper's use of ``tc`` traffic shaping (section 2.6): constant
+rates for convergence probes, step functions for adaptation probes, and
+recorded cellular traces replayed for apples-to-apples QoE comparisons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, Sequence, runtime_checkable
+
+from repro.util import check_non_negative, check_positive
+
+
+@runtime_checkable
+class BandwidthSchedule(Protocol):
+    """Anything that can answer "what is the shaped rate at time t?"."""
+
+    def bandwidth_at(self, time_s: float) -> float:
+        """Shaped downlink capacity in bits per second at ``time_s``."""
+        ...
+
+
+@dataclass(frozen=True)
+class ConstantSchedule:
+    """A fixed shaped rate."""
+
+    rate_bps: float
+
+    def __post_init__(self) -> None:
+        check_positive("rate_bps", self.rate_bps)
+
+    def bandwidth_at(self, time_s: float) -> float:
+        return self.rate_bps
+
+
+@dataclass(frozen=True)
+class StepSchedule:
+    """A piecewise-constant rate: ``steps`` are (start_s, rate_bps) pairs.
+
+    The paper's adaptation probes use a single step ("stays high for a
+    while and then suddenly drops"); arbitrary step counts are allowed.
+    """
+
+    steps: tuple[tuple[float, float], ...]
+
+    def __post_init__(self) -> None:
+        if not self.steps:
+            raise ValueError("StepSchedule needs at least one step")
+        starts = [start for start, _ in self.steps]
+        if starts != sorted(starts):
+            raise ValueError("steps must be sorted by start time")
+        if starts[0] != 0.0:
+            raise ValueError("first step must start at time 0")
+        for _, rate in self.steps:
+            check_positive("rate_bps", rate)
+
+    @classmethod
+    def single_step(
+        cls, initial_bps: float, final_bps: float, step_at_s: float
+    ) -> "StepSchedule":
+        check_positive("step_at_s", step_at_s)
+        return cls(steps=((0.0, initial_bps), (step_at_s, final_bps)))
+
+    def bandwidth_at(self, time_s: float) -> float:
+        check_non_negative("time_s", time_s)
+        rate = self.steps[0][1]
+        for start, step_rate in self.steps:
+            if time_s >= start:
+                rate = step_rate
+            else:
+                break
+        return rate
+
+
+@dataclass(frozen=True)
+class TraceSchedule:
+    """Replay of 1 Hz bandwidth samples; repeats beyond the trace end."""
+
+    samples_bps: tuple[float, ...]
+    sample_interval_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.samples_bps:
+            raise ValueError("trace must have at least one sample")
+        check_positive("sample_interval_s", self.sample_interval_s)
+        for sample in self.samples_bps:
+            check_non_negative("sample_bps", sample)
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[float], interval_s: float = 1.0):
+        return cls(samples_bps=tuple(samples), sample_interval_s=interval_s)
+
+    @property
+    def duration_s(self) -> float:
+        return len(self.samples_bps) * self.sample_interval_s
+
+    @property
+    def average_bps(self) -> float:
+        return sum(self.samples_bps) / len(self.samples_bps)
+
+    def bandwidth_at(self, time_s: float) -> float:
+        check_non_negative("time_s", time_s)
+        index = int(time_s / self.sample_interval_s) % len(self.samples_bps)
+        return self.samples_bps[index]

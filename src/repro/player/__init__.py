@@ -1,0 +1,95 @@
+"""Client player: buffering, adaptation, download control, scheduling.
+
+This package implements a complete HAS client.  Every behaviour the
+paper attributes to the studied services — startup logic, pause/resume
+download control, declared- vs actual-bitrate adaptation, segment
+replacement, multi-connection scheduling — is a configuration point
+here, so the 12 service models in :mod:`repro.services` are pure
+parameterisations of one engine.
+"""
+
+from repro.player.buffer import BufferedSegment, PlaybackBuffer
+from repro.player.config import PlayerConfig, SchedulerStrategy
+from repro.player.estimator import (
+    EwmaEstimator,
+    LastSampleEstimator,
+    SlidingWindowEstimator,
+    ThroughputEstimator,
+)
+from repro.player.abr import (
+    AbrAlgorithm,
+    AbrContext,
+    ExoPlayerAbr,
+    RateBasedAbr,
+    UnstableAbr,
+)
+from repro.player.replacement import (
+    ExoV1Replacement,
+    ImprovedReplacement,
+    NoReplacement,
+    ReplacementAction,
+    ReplacementPolicy,
+)
+from repro.player.scheduler import (
+    FetchJob,
+    JobKind,
+    PartitionedParallelScheduler,
+    Scheduler,
+    SingleConnectionScheduler,
+    SplitScheduler,
+    SyncedAvScheduler,
+)
+from repro.player.events import (
+    PlayerEvent,
+    PlaybackStarted,
+    ProgressSample,
+    SegmentCompleted,
+    SegmentDiscarded,
+    SegmentPlayStarted,
+    SessionEnded,
+    StallEnded,
+    StallStarted,
+)
+from repro.player.abr_extra import BolaAbr, BufferBasedAbr
+from repro.player.player import Player, PlayerState
+
+__all__ = [
+    "BufferedSegment",
+    "PlaybackBuffer",
+    "PlayerConfig",
+    "SchedulerStrategy",
+    "EwmaEstimator",
+    "LastSampleEstimator",
+    "SlidingWindowEstimator",
+    "ThroughputEstimator",
+    "AbrAlgorithm",
+    "AbrContext",
+    "ExoPlayerAbr",
+    "RateBasedAbr",
+    "UnstableAbr",
+    "ExoV1Replacement",
+    "ImprovedReplacement",
+    "NoReplacement",
+    "ReplacementAction",
+    "ReplacementPolicy",
+    "FetchJob",
+    "JobKind",
+    "PartitionedParallelScheduler",
+    "Scheduler",
+    "SingleConnectionScheduler",
+    "SplitScheduler",
+    "SyncedAvScheduler",
+    "PlayerEvent",
+    "PlaybackStarted",
+    "ProgressSample",
+    "SegmentCompleted",
+    "SegmentDiscarded",
+    "SegmentPlayStarted",
+    "SessionEnded",
+    "StallEnded",
+    "StallStarted",
+    "BolaAbr",
+    "BufferBasedAbr",
+    "Player",
+    "PlayerState",
+]

@@ -1,0 +1,134 @@
+"""Research ABR algorithms from the paper's related work (section 5).
+
+The paper surveys rate-adaptation proposals and evaluates what
+*deployed* services do; this module implements two of the cited
+algorithms so the testbed can compare deployed designs against the
+research state of the art:
+
+* :class:`BufferBasedAbr` — BBA-0 from Huang et al., "A buffer-based
+  approach to rate adaptation" (SIGCOMM 2014), reference [27]: the
+  selected rate is a piecewise-linear function of buffer occupancy
+  between a *reservoir* and a *cushion*, ignoring throughput estimates
+  entirely in steady state.
+* :class:`BolaAbr` — BOLA from Spiteri et al. (INFOCOM 2016), reference
+  [50]: Lyapunov-style utility maximisation; each decision picks the
+  track maximising ``(V * utility + V * gamma - buffer_level) / size``
+  over the manifest's tracks.
+
+Both return track *levels* through the same interface as the deployed
+algorithms in :mod:`repro.player.abr`, so they drop straight into any
+service model or experiment.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.player.abr import AbrContext, track_rate_bps
+from repro.util import check_positive
+
+
+class BufferBasedAbr:
+    """BBA-0: map buffer occupancy linearly onto the rate ladder.
+
+    Below ``reservoir_s`` of buffer the lowest track is selected; above
+    ``reservoir_s + cushion_s`` the highest; in between the rate map is
+    linear in buffer occupancy.  During startup (no buffer history) the
+    throughput estimate bootstraps the choice, as the paper's authors
+    do for the startup phase.
+    """
+
+    def __init__(
+        self,
+        *,
+        reservoir_s: float = 10.0,
+        cushion_s: float = 30.0,
+        use_actual: bool = False,
+    ):
+        check_positive("reservoir_s", reservoir_s)
+        check_positive("cushion_s", cushion_s)
+        self.reservoir_s = reservoir_s
+        self.cushion_s = cushion_s
+        self.use_actual = use_actual
+
+    def select_level(self, ctx: AbrContext) -> int:
+        if not ctx.tracks:
+            return 0
+        top = len(ctx.tracks) - 1
+        if ctx.buffer_s <= self.reservoir_s:
+            return 0
+        if ctx.buffer_s >= self.reservoir_s + self.cushion_s:
+            return top
+        rates = [
+            track_rate_bps(track, ctx.next_index, use_actual=self.use_actual)
+            for track in ctx.tracks
+        ]
+        low, high = rates[0], rates[-1]
+        fraction = (ctx.buffer_s - self.reservoir_s) / self.cushion_s
+        target = low + fraction * (high - low)
+        level = 0
+        for candidate, rate in enumerate(rates):
+            if rate <= target:
+                level = candidate
+        return level
+
+
+class BolaAbr:
+    """BOLA: buffer-aware utility maximisation.
+
+    Utilities are logarithmic in bitrate (normalised to the lowest
+    track).  ``buffer_target_s`` sets the control parameter ``V`` so the
+    buffer stabilises near the target, following the BOLA-BASIC
+    derivation in the paper.
+    """
+
+    def __init__(
+        self,
+        *,
+        buffer_target_s: float = 25.0,
+        minimum_buffer_s: float = 5.0,
+        gamma_p: float = 5.0,
+        use_actual: bool = False,
+    ):
+        check_positive("buffer_target_s", buffer_target_s)
+        check_positive("minimum_buffer_s", minimum_buffer_s)
+        if buffer_target_s <= minimum_buffer_s:
+            raise ValueError("buffer target must exceed the minimum buffer")
+        self.buffer_target_s = buffer_target_s
+        self.minimum_buffer_s = minimum_buffer_s
+        self.gamma_p = gamma_p
+        self.use_actual = use_actual
+
+    def _utilities(self, ctx: AbrContext) -> list[float]:
+        rates = [
+            track_rate_bps(track, ctx.next_index, use_actual=self.use_actual)
+            for track in ctx.tracks
+        ]
+        lowest = max(rates[0], 1.0)
+        return [math.log(max(rate, 1.0) / lowest) for rate in rates]
+
+    def select_level(self, ctx: AbrContext) -> int:
+        if not ctx.tracks:
+            return 0
+        utilities = self._utilities(ctx)
+        top_utility = utilities[-1]
+        # BOLA-BASIC: V chosen so the top track is selected at the
+        # buffer target and the lowest at the minimum buffer.
+        v = (self.buffer_target_s - self.minimum_buffer_s) / (
+            top_utility + self.gamma_p
+        ) if top_utility + self.gamma_p > 0 else 1.0
+        rates = [
+            track_rate_bps(track, ctx.next_index, use_actual=self.use_actual)
+            for track in ctx.tracks
+        ]
+        best_level = 0
+        best_score = -math.inf
+        for level, (utility, rate) in enumerate(zip(utilities, rates)):
+            size_s = max(rate, 1.0)  # proportional to segment size
+            score = (v * (utility + self.gamma_p) - ctx.buffer_s) / size_s
+            if score > best_score:
+                best_score = score
+                best_level = level
+        if ctx.buffer_s < self.minimum_buffer_s:
+            return 0
+        return best_level

@@ -1,0 +1,100 @@
+"""Player configuration: every design axis from Table 1 as a knob.
+
+A :class:`PlayerConfig` fully determines a player's behaviour; the 12
+service models and the ExoPlayer presets are just different instances.
+Algorithm fields are *factories* because ABR/estimator/replacement
+objects carry per-session state.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.player.abr import AbrAlgorithm, RateBasedAbr
+from repro.player.estimator import SlidingWindowEstimator, ThroughputEstimator
+from repro.player.replacement import NoReplacement, ReplacementPolicy
+from repro.util import check_positive
+
+
+class SchedulerStrategy(enum.Enum):
+    SINGLE = "single"
+    SYNCED_AV = "synced_av"
+    PARTITIONED_PARALLEL = "partitioned_parallel"
+    SPLIT = "split"
+
+
+@dataclass(frozen=True)
+class PlayerConfig:
+    """Complete client-side design of one service."""
+
+    name: str = "player"
+
+    # Startup logic (section 3.3.1, section 4.3)
+    startup_buffer_s: float = 10.0
+    startup_min_segments: int = 1
+    startup_track_bitrate_bps: Optional[float] = None
+    abr_warmup_segments: int = 1
+    rebuffer_resume_s: Optional[float] = None  # defaults to startup_buffer_s
+
+    # Download control (section 3.3.2)
+    pause_threshold_s: float = 60.0
+    resume_threshold_s: float = 50.0
+
+    # Transport (section 3.2)
+    strategy: SchedulerStrategy = SchedulerStrategy.SINGLE
+    connections: int = 1
+    video_connections: int = 5
+    audio_connections: int = 1
+    persistent_connections: bool = True
+
+    # Algorithms
+    abr_factory: Callable[[], AbrAlgorithm] = field(
+        default=lambda: RateBasedAbr(0.75)
+    )
+    estimator_factory: Callable[[], ThroughputEstimator] = field(
+        default=lambda: SlidingWindowEstimator(5)
+    )
+    replacement_factory: Callable[[], ReplacementPolicy] = field(
+        default=NoReplacement
+    )
+
+    # Buffer capability (section 4.1.2): can a mid-buffer segment be
+    # dropped individually, or is the buffer a strict deque?
+    allow_mid_replacement: bool = False
+
+    # Index/metadata strategy
+    prefetch_all_indexes: bool = False
+
+    # Error handling
+    retry_interval_s: float = 0.5
+
+    def __post_init__(self) -> None:
+        check_positive("startup_buffer_s", self.startup_buffer_s)
+        if self.startup_min_segments < 1:
+            raise ValueError("startup_min_segments must be >= 1")
+        if self.abr_warmup_segments < 1:
+            raise ValueError("abr_warmup_segments must be >= 1")
+        check_positive("pause_threshold_s", self.pause_threshold_s)
+        check_positive("resume_threshold_s", self.resume_threshold_s)
+        if self.resume_threshold_s > self.pause_threshold_s:
+            raise ValueError(
+                "resume threshold must not exceed pause threshold "
+                f"({self.resume_threshold_s} > {self.pause_threshold_s})"
+            )
+        if self.connections < 1:
+            raise ValueError("connections must be >= 1")
+        check_positive("retry_interval_s", self.retry_interval_s)
+
+    @property
+    def effective_rebuffer_resume_s(self) -> float:
+        if self.rebuffer_resume_s is not None:
+            return self.rebuffer_resume_s
+        return self.startup_buffer_s
+
+    @property
+    def threshold_gap_s(self) -> float:
+        """Pause-resume gap; compared against the LTE RRC demotion timer
+        for the energy discussion in section 3.3.2."""
+        return self.pause_threshold_s - self.resume_threshold_s

@@ -1,0 +1,153 @@
+"""Network throughput estimation from completed downloads.
+
+Which estimator a service uses shapes its adaptation: a long-memory
+estimator converges (most services), while a memoryless one chasing the
+last sample over VBR segment sizes oscillates even at constant
+bandwidth, which is exactly the D1 behaviour in Figure 8.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional, Protocol
+
+from repro.util import check_positive
+
+
+class ThroughputEstimator(Protocol):
+    def add_sample(self, size_bytes: float, duration_s: float) -> None: ...
+
+    def estimate_bps(self) -> Optional[float]: ...
+
+    def sample_count(self) -> int: ...
+
+
+class EwmaEstimator:
+    """Exponentially weighted moving average of download goodput."""
+
+    def __init__(self, alpha: float = 0.3):
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        self.alpha = alpha
+        self._estimate: float | None = None
+        self._samples = 0
+
+    def add_sample(self, size_bytes: float, duration_s: float) -> None:
+        check_positive("duration_s", duration_s)
+        sample_bps = size_bytes * 8.0 / duration_s
+        if self._estimate is None:
+            self._estimate = sample_bps
+        else:
+            self._estimate = (
+                self.alpha * sample_bps + (1.0 - self.alpha) * self._estimate
+            )
+        self._samples += 1
+
+    def estimate_bps(self) -> Optional[float]:
+        return self._estimate
+
+    def sample_count(self) -> int:
+        return self._samples
+
+
+class SlidingWindowEstimator:
+    """Harmonic mean of the last ``window`` download rates.
+
+    The harmonic mean weights slow downloads appropriately (they carry
+    more bytes-seconds), a standard choice in HAS clients.
+    """
+
+    def __init__(self, window: int = 5):
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self.window = window
+        self._samples: deque[tuple[float, float]] = deque(maxlen=window)
+        self._count = 0
+
+    def add_sample(self, size_bytes: float, duration_s: float) -> None:
+        check_positive("duration_s", duration_s)
+        self._samples.append((size_bytes, duration_s))
+        self._count += 1
+
+    def estimate_bps(self) -> Optional[float]:
+        if not self._samples:
+            return None
+        total_bytes = sum(size for size, _ in self._samples)
+        total_duration = sum(duration for _, duration in self._samples)
+        return total_bytes * 8.0 / total_duration
+
+    def sample_count(self) -> int:
+        return self._count
+
+
+class AggregateWindowEstimator:
+    """Interface-level throughput over the last ``window`` downloads.
+
+    When several segments download in parallel (the D1 design), each
+    individual download sees only its fair share, so per-download
+    goodput underestimates the link by the concurrency factor.  Real
+    clients measure throughput at the interface; this estimator does
+    the equivalent by dividing the window's bytes by the *union* of its
+    download intervals.  A short window keeps it memoryless and jumpy —
+    combined with greedy per-segment selection, that is the D1
+    oscillation of Figure 8.
+    """
+
+    def __init__(self, window: int = 3):
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self.window = window
+        self._samples: deque[tuple[float, float, float]] = deque(maxlen=window)
+        self._count = 0
+
+    def add_sample(self, size_bytes: float, duration_s: float) -> None:
+        """Fallback when interval times are unavailable."""
+        check_positive("duration_s", duration_s)
+        anchor = self._samples[-1][1] if self._samples else 0.0
+        self.add_interval(size_bytes, anchor, anchor + duration_s)
+
+    def add_interval(
+        self, size_bytes: float, started_at: float, completed_at: float
+    ) -> None:
+        if completed_at <= started_at:
+            completed_at = started_at + 1e-9
+        self._samples.append((started_at, completed_at, size_bytes))
+        self._count += 1
+
+    def estimate_bps(self) -> Optional[float]:
+        if not self._samples:
+            return None
+        intervals = sorted((start, end) for start, end, _ in self._samples)
+        union = 0.0
+        current_start, current_end = intervals[0]
+        for start, end in intervals[1:]:
+            if start <= current_end:
+                current_end = max(current_end, end)
+            else:
+                union += current_end - current_start
+                current_start, current_end = start, end
+        union += current_end - current_start
+        total_bytes = sum(size for _, _, size in self._samples)
+        return total_bytes * 8.0 / max(union, 1e-9)
+
+    def sample_count(self) -> int:
+        return self._count
+
+
+class LastSampleEstimator:
+    """Memoryless: the goodput of the most recent download only."""
+
+    def __init__(self) -> None:
+        self._estimate: float | None = None
+        self._samples = 0
+
+    def add_sample(self, size_bytes: float, duration_s: float) -> None:
+        check_positive("duration_s", duration_s)
+        self._estimate = size_bytes * 8.0 / duration_s
+        self._samples += 1
+
+    def estimate_bps(self) -> Optional[float]:
+        return self._estimate
+
+    def sample_count(self) -> int:
+        return self._samples

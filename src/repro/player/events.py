@@ -1,0 +1,118 @@
+"""Ground-truth player events.
+
+The player logs what actually happened (stalls, playback, discards,
+downloads) and separately emits the coarse 1 Hz UI progress samples the
+measurement methodology is allowed to see.  Tests validate the
+methodology's inferences against this ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.media.track import StreamType
+
+
+@dataclass(frozen=True)
+class PlayerEvent:
+    at: float
+
+
+@dataclass(frozen=True)
+class PlaybackStarted(PlayerEvent):
+    """First frame rendered; ``at`` is the startup delay."""
+
+
+@dataclass(frozen=True)
+class StallStarted(PlayerEvent):
+    position_s: float
+
+
+@dataclass(frozen=True)
+class StallEnded(PlayerEvent):
+    position_s: float
+    duration_s: float
+
+
+@dataclass(frozen=True)
+class SegmentPlayStarted(PlayerEvent):
+    """Playback crossed into a (video) segment."""
+
+    index: int
+    level: int
+    declared_bitrate_bps: float
+    height: int | None
+
+
+@dataclass(frozen=True)
+class SegmentCompleted(PlayerEvent):
+    """A media segment finished downloading."""
+
+    stream_type: StreamType
+    index: int
+    level: int
+    declared_bitrate_bps: float
+    size_bytes: int
+    download_duration_s: float
+    is_replacement: bool
+
+
+@dataclass(frozen=True)
+class SegmentDiscarded(PlayerEvent):
+    """A buffered segment was thrown away (segment replacement)."""
+
+    stream_type: StreamType
+    index: int
+    level: int
+    size_bytes: int
+
+
+@dataclass(frozen=True)
+class SeekPerformed(PlayerEvent):
+    """The user moved the seekbar to a new position."""
+
+    from_position_s: float
+    to_position_s: float
+    within_buffer: bool
+
+
+@dataclass(frozen=True)
+class SessionEnded(PlayerEvent):
+    position_s: float
+    reason: str
+
+
+@dataclass(frozen=True)
+class ProgressSample:
+    """One seekbar update: what ``ProgressBar.setProgress`` would show."""
+
+    at: float
+    position_s: float
+
+
+class EventLog:
+    """Ordered ground-truth event sink."""
+
+    def __init__(self) -> None:
+        self.events: list[PlayerEvent] = []
+
+    def emit(self, event: PlayerEvent) -> None:
+        self.events.append(event)
+
+    def of_type(self, event_type) -> list:
+        return [event for event in self.events if isinstance(event, event_type)]
+
+    def total_stall_s(self) -> float:
+        return sum(event.duration_s for event in self.of_type(StallEnded))
+
+    def stall_count(self) -> int:
+        return len(self.of_type(StallStarted))
+
+    def startup_delay_s(self) -> float | None:
+        started = self.of_type(PlaybackStarted)
+        if not started:
+            return None
+        return started[0].at
+
+    def discarded_bytes(self) -> int:
+        return sum(event.size_bytes for event in self.of_type(SegmentDiscarded))

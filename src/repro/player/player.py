@@ -1,0 +1,764 @@
+"""The HAS player engine.
+
+One engine, configured by :class:`~repro.player.config.PlayerConfig`,
+reproduces all twelve studied services plus the ExoPlayer variants.
+Per simulation tick the player:
+
+1. advances playback (position moves only through contiguously
+   buffered content; with separate audio, *both* streams must cover the
+   playhead — the D1 lesson of Figure 6);
+2. emits the 1 Hz seekbar updates the UI monitor observes;
+3. applies download control (pause above / resume below thresholds);
+4. lets the replacement policy discard or replace buffered segments;
+5. fills free scheduler slots with metadata or segment fetches, asking
+   the ABR algorithm for the track of each forward video segment.
+
+The player only ever acts on parsed manifest data fetched over the
+simulated network — never on ground-truth media objects — so black-box
+experiments that tamper with manifests affect it exactly as they would
+a real client.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from typing import Optional
+
+from repro.manifest import (
+    ClientManifest,
+    ClientSegmentInfo,
+    ClientTrackInfo,
+    ManifestCipher,
+    ManifestError,
+    parse_any_manifest,
+    parse_media_playlist,
+    parse_sidx,
+    segments_from_sidx,
+)
+from repro.media.track import StreamType
+from repro.net.clock import Clock
+from repro.net.network import Network
+from repro.player.abr import AbrContext
+from repro.player.buffer import BufferedSegment, PlaybackBuffer
+from repro.player.config import PlayerConfig, SchedulerStrategy
+from repro.player.events import (
+    EventLog,
+    PlaybackStarted,
+    ProgressSample,
+    SegmentCompleted,
+    SegmentDiscarded,
+    SegmentPlayStarted,
+    SessionEnded,
+    StallEnded,
+    StallStarted,
+)
+from repro.player.replacement import (
+    DiscardTail,
+    ReplaceSingle,
+    ReplacementContext,
+)
+from repro.player.scheduler import (
+    FetchJob,
+    JobKind,
+    JobResult,
+    PartitionedParallelScheduler,
+    Scheduler,
+    SingleConnectionScheduler,
+    SplitScheduler,
+    SyncedAvScheduler,
+)
+
+_EPS = 1e-9
+
+
+class PlayerState(enum.Enum):
+    INIT = "init"
+    BUFFERING = "buffering"
+    PLAYING = "playing"
+    REBUFFERING = "rebuffering"
+    ENDED = "ended"
+
+
+def _build_scheduler(config: PlayerConfig, network: Network) -> Scheduler:
+    if config.strategy is SchedulerStrategy.SINGLE:
+        return SingleConnectionScheduler(
+            network, persistent=config.persistent_connections
+        )
+    if config.strategy is SchedulerStrategy.SYNCED_AV:
+        return SyncedAvScheduler(
+            network, config.connections, persistent=config.persistent_connections
+        )
+    if config.strategy is SchedulerStrategy.PARTITIONED_PARALLEL:
+        return PartitionedParallelScheduler(
+            network,
+            config.video_connections,
+            config.audio_connections,
+            persistent=config.persistent_connections,
+        )
+    if config.strategy is SchedulerStrategy.SPLIT:
+        return SplitScheduler(
+            network, config.connections, persistent=config.persistent_connections
+        )
+    raise ValueError(f"unknown strategy {config.strategy}")
+
+
+class Player:
+    """A complete HAS client session."""
+
+    def __init__(
+        self,
+        clock: Clock,
+        network: Network,
+        config: PlayerConfig,
+        manifest_url: str,
+        *,
+        cipher: Optional[ManifestCipher] = None,
+    ):
+        self.clock = clock
+        self.network = network
+        self.config = config
+        self.manifest_url = manifest_url
+        self.cipher = cipher
+
+        self.scheduler = _build_scheduler(config, network)
+        self.abr = config.abr_factory()
+        self.estimator = config.estimator_factory()
+        self.replacement = config.replacement_factory()
+
+        self.state = PlayerState.INIT
+        self.manifest: ClientManifest | None = None
+        self.events = EventLog()
+        self.ui_samples: list[ProgressSample] = []
+
+        self.buffers: dict[StreamType, PlaybackBuffer] = {
+            StreamType.VIDEO: PlaybackBuffer(
+                allow_mid_replacement=config.allow_mid_replacement
+            ),
+            StreamType.AUDIO: PlaybackBuffer(
+                allow_mid_replacement=config.allow_mid_replacement
+            ),
+        }
+        self._pending: dict[StreamType, set[int]] = {
+            StreamType.VIDEO: set(),
+            StreamType.AUDIO: set(),
+        }
+        self._paused: dict[StreamType, bool] = {
+            StreamType.VIDEO: False,
+            StreamType.AUDIO: False,
+        }
+        self._blocked_until: dict[StreamType, float] = {
+            StreamType.VIDEO: 0.0,
+            StreamType.AUDIO: 0.0,
+        }
+        self._loading_tracks: set[tuple[StreamType, int]] = set()
+        self._stale_jobs: set[int] = set()
+        self._replacement_inflight = False
+        self._manifest_requested = False
+        self._last_selected_level: int | None = None
+        self._forward_video_completed = 0
+        self._current_play_index: int | None = None
+        self._play_pos = 0.0
+        self._stall_started_at: float | None = None
+        self._next_ui_at = 0.0
+        self._content_end: float | None = None
+        self._ever_started = False
+
+    # -- public inspection --------------------------------------------------
+
+    @property
+    def position_s(self) -> float:
+        return self._play_pos
+
+    def buffer_s(self, stream_type: StreamType = StreamType.VIDEO) -> float:
+        return self.buffers[stream_type].occupancy_s(self._play_pos)
+
+    @property
+    def min_buffer_s(self) -> float:
+        return min(self.buffer_s(stream) for stream in self._streams())
+
+    @property
+    def playing(self) -> bool:
+        return self.state is PlayerState.PLAYING
+
+    @property
+    def ended(self) -> bool:
+        return self.state is PlayerState.ENDED
+
+    # -- user interaction ---------------------------------------------------
+
+    def seek(self, position_s: float) -> None:
+        """Move the seekbar to ``position_s`` (section 2.4's user action).
+
+        A seek inside the contiguously buffered range keeps the buffer
+        and continues playing; anything else flushes both buffers,
+        abandons in-flight segment downloads (their bytes become waste)
+        and rebuffers from the new position using the startup logic —
+        which is also how the player recovers from stalls.
+        """
+        if self.state in (PlayerState.INIT, PlayerState.ENDED):
+            raise RuntimeError(f"cannot seek while {self.state.value}")
+        if position_s < 0:
+            raise ValueError(f"seek position must be >= 0, got {position_s}")
+        if self._content_end is not None:
+            position_s = min(position_s, self._content_end - 1e-3)
+        within = all(
+            self.buffers[stream].segment_covering(position_s) is not None
+            for stream in self._streams()
+        )
+        from repro.player.events import SeekPerformed
+
+        self.events.emit(
+            SeekPerformed(
+                at=self.clock.now,
+                from_position_s=self._play_pos,
+                to_position_s=position_s,
+                within_buffer=within,
+            )
+        )
+        self._play_pos = position_s
+        self._current_play_index = None
+        if within:
+            for stream in self._streams():
+                self.buffers[stream].consume_until(position_s)
+            self._note_play_index()
+            return
+        for stream in self._streams():
+            dropped = self.buffers[stream].clear()
+            for segment in dropped:
+                self.events.emit(
+                    SegmentDiscarded(
+                        at=self.clock.now,
+                        stream_type=stream,
+                        index=segment.index,
+                        level=segment.level,
+                        size_bytes=segment.size_bytes,
+                    )
+                )
+            self._pending[stream].clear()
+        for job in (
+            self.scheduler.inflight_jobs(StreamType.VIDEO)
+            + self.scheduler.inflight_jobs(StreamType.AUDIO)
+        ):
+            if job.kind is JobKind.SEGMENT:
+                self._stale_jobs.add(id(job))
+        self._replacement_inflight = False
+        # Rebuffer with the startup logic, without counting a stall: the
+        # player knows this gap is user-initiated.
+        if self._stall_started_at is not None:
+            self.events.emit(
+                StallEnded(
+                    at=self.clock.now,
+                    position_s=self._play_pos,
+                    duration_s=self.clock.now - self._stall_started_at,
+                )
+            )
+            self._stall_started_at = None
+        self.state = PlayerState.BUFFERING
+
+    # -- main loop ------------------------------------------------------------
+
+    def advance(self, dt: float) -> None:
+        """One simulation tick (call after the network moved its bytes)."""
+        if self.state is not PlayerState.ENDED:
+            self._advance_playback(dt)
+        self._emit_ui_samples()
+        if self.state is not PlayerState.ENDED:
+            self._advance_fetching()
+
+    # -- playback -------------------------------------------------------------
+
+    def _streams(self) -> list[StreamType]:
+        if self.manifest is not None and self.manifest.has_separate_audio:
+            return [StreamType.VIDEO, StreamType.AUDIO]
+        return [StreamType.VIDEO]
+
+    def _render_limit(self) -> float:
+        """How far playback may advance through contiguous content."""
+        limit = math.inf
+        for stream in self._streams():
+            run = self.buffers[stream].contiguous_run_from(self._play_pos)
+            limit = min(limit, run[-1].end_s if run else self._play_pos)
+        if self._content_end is not None:
+            limit = min(limit, self._content_end)
+        return limit
+
+    def _advance_playback(self, dt: float) -> None:
+        now = self.clock.now
+        if self.state is PlayerState.INIT:
+            if self.manifest is not None:
+                self.state = PlayerState.BUFFERING
+            return
+        if self.state is PlayerState.BUFFERING:
+            if self._startup_ready():
+                if not self._ever_started:
+                    self.events.emit(PlaybackStarted(at=now))
+                    self._ever_started = True
+                self.state = PlayerState.PLAYING
+                self._note_play_index()
+            return
+        if self.state is PlayerState.REBUFFERING:
+            if self._rebuffer_ready():
+                assert self._stall_started_at is not None
+                self.events.emit(
+                    StallEnded(
+                        at=now,
+                        position_s=self._play_pos,
+                        duration_s=now - self._stall_started_at,
+                    )
+                )
+                self._stall_started_at = None
+                self.state = PlayerState.PLAYING
+            return
+        # PLAYING
+        limit = self._render_limit()
+        advance = min(dt, limit - self._play_pos)
+        if advance <= _EPS:
+            if (
+                self._content_end is not None
+                and self._play_pos >= self._content_end - 1e-6
+            ):
+                self._end_session("content finished")
+                return
+            self.state = PlayerState.REBUFFERING
+            self._stall_started_at = now
+            self.events.emit(StallStarted(at=now, position_s=self._play_pos))
+            return
+        self._play_pos += advance
+        self._note_play_index()
+        for stream in self._streams():
+            self.buffers[stream].consume_until(self._play_pos)
+        if (
+            self._content_end is not None
+            and self._play_pos >= self._content_end - 1e-6
+        ):
+            self._end_session("content finished")
+
+    def _note_play_index(self) -> None:
+        segment = self.buffers[StreamType.VIDEO].segment_covering(self._play_pos)
+        if segment is None or segment.index == self._current_play_index:
+            return
+        self._current_play_index = segment.index
+        self.events.emit(
+            SegmentPlayStarted(
+                at=self.clock.now,
+                index=segment.index,
+                level=segment.level,
+                declared_bitrate_bps=segment.declared_bitrate_bps,
+                height=segment.height,
+            )
+        )
+
+    def _remaining_content_s(self) -> float:
+        if self._content_end is None:
+            return math.inf
+        return max(self._content_end - self._play_pos, 0.0)
+
+    def _startup_ready(self) -> bool:
+        needed = min(self.config.startup_buffer_s, self._remaining_content_s())
+        if self.min_buffer_s + _EPS < needed:
+            return False
+        video = self.buffers[StreamType.VIDEO]
+        have = video.contiguous_segment_count(self._play_pos)
+        if have < self.config.startup_min_segments and not self._stream_complete(
+            StreamType.VIDEO
+        ):
+            return False
+        return have > 0
+
+    def _rebuffer_ready(self) -> bool:
+        needed = min(
+            self.config.effective_rebuffer_resume_s, self._remaining_content_s()
+        )
+        if self._remaining_content_s() <= _EPS:
+            return True
+        return (
+            self.min_buffer_s + _EPS >= needed
+            and self.buffers[StreamType.VIDEO].contiguous_segment_count(
+                self._play_pos
+            )
+            > 0
+        )
+
+    def _end_session(self, reason: str) -> None:
+        if self._stall_started_at is not None:
+            self.events.emit(
+                StallEnded(
+                    at=self.clock.now,
+                    position_s=self._play_pos,
+                    duration_s=self.clock.now - self._stall_started_at,
+                )
+            )
+            self._stall_started_at = None
+        self.state = PlayerState.ENDED
+        self.events.emit(
+            SessionEnded(at=self.clock.now, position_s=self._play_pos, reason=reason)
+        )
+
+    def _emit_ui_samples(self) -> None:
+        # The seekbar is updated via ProgressBar.setProgress at 1 Hz
+        # regardless of player state (section 2.4).
+        while self.clock.now + _EPS >= self._next_ui_at:
+            self.ui_samples.append(
+                ProgressSample(at=self._next_ui_at, position_s=self._play_pos)
+            )
+            self._next_ui_at += 1.0
+
+    # -- fetching ---------------------------------------------------------------
+
+    def _advance_fetching(self) -> None:
+        if self.manifest is None:
+            if not self._manifest_requested and self.scheduler.slots_for(
+                StreamType.VIDEO
+            ):
+                self._request_manifest()
+            return
+        self._update_pause_flags()
+        progress = True
+        while progress:
+            progress = False
+            # Offer capacity to the stream with less buffered content
+            # first; on shared-capacity schedulers this is what keeps
+            # audio and video in sync (the section 3.2 best practice,
+            # and D3's one-segment-at-a-time behaviour).
+            streams = sorted(self._streams(), key=self.buffer_s)
+            for stream in streams:
+                if self.scheduler.slots_for(stream) <= 0:
+                    continue
+                job = self._next_job(stream)
+                if job is not None:
+                    self.scheduler.submit(job)
+                    progress = True
+
+    def _update_pause_flags(self) -> None:
+        for stream in self._streams():
+            occupancy = self.buffer_s(stream)
+            if not self._paused[stream] and occupancy >= self.config.pause_threshold_s:
+                self._paused[stream] = True
+            elif self._paused[stream] and occupancy <= self.config.resume_threshold_s:
+                self._paused[stream] = False
+
+    def _request_manifest(self) -> None:
+        self._manifest_requested = True
+        self.scheduler.submit(
+            FetchJob(
+                kind=JobKind.MANIFEST,
+                stream_type=StreamType.VIDEO,
+                url=self.manifest_url,
+                on_complete=self._on_metadata_complete,
+            )
+        )
+
+    # -- job construction -------------------------------------------------------
+
+    def _next_job(self, stream: StreamType) -> FetchJob | None:
+        now = self.clock.now
+        if now < self._blocked_until[stream]:
+            return None
+        assert self.manifest is not None
+        tracks = self.manifest.tracks(stream)
+        if not tracks:
+            return None
+        level = 0 if stream is StreamType.AUDIO else self._choose_video_level()
+        track = tracks[level]
+        if track.segments is None:
+            return self._metadata_job_for(stream, level, track)
+        if stream is StreamType.VIDEO and self.config.prefetch_all_indexes:
+            for other_level, other in enumerate(tracks):
+                if other.segments is None:
+                    return self._metadata_job_for(stream, other_level, other)
+        if stream is StreamType.VIDEO:
+            replacement_job = self._consider_replacement(level)
+            if replacement_job is not None:
+                return replacement_job
+        if self._paused[stream]:
+            return None
+        index = self._next_forward_index(stream)
+        if index is None:
+            return None
+        if stream is StreamType.VIDEO:
+            self._last_selected_level = level
+        segment = tracks[level].segments[index]
+        self._pending[stream].add(index)
+        return FetchJob(
+            kind=JobKind.SEGMENT,
+            stream_type=stream,
+            url=segment.url,
+            byte_range=segment.byte_range,
+            index=index,
+            level=level,
+            on_complete=self._on_segment_complete,
+        )
+
+    def _metadata_job_for(
+        self, stream: StreamType, level: int, track: ClientTrackInfo
+    ) -> FetchJob | None:
+        if (stream, level) in self._loading_tracks:
+            return None
+        if track.media_playlist_url is not None:
+            kind, url, byte_range = (
+                JobKind.MEDIA_PLAYLIST, track.media_playlist_url, None
+            )
+        elif track.index_url is not None:
+            kind, url, byte_range = (
+                JobKind.INDEX, track.index_url, track.index_byte_range
+            )
+        else:
+            return None  # nothing can make segments appear
+        self._loading_tracks.add((stream, level))
+        return FetchJob(
+            kind=kind,
+            stream_type=stream,
+            url=url,
+            byte_range=byte_range,
+            level=level,
+            on_complete=self._on_metadata_complete,
+        )
+
+    def _choose_video_level(self) -> int:
+        assert self.manifest is not None
+        tracks = self.manifest.video_tracks
+        if (
+            self._forward_video_completed < self.config.abr_warmup_segments
+            or self.estimator.sample_count() == 0
+        ):
+            return self._startup_level()
+        next_index = self._next_forward_index(StreamType.VIDEO)
+        ctx = AbrContext(
+            now=self.clock.now,
+            tracks=tracks,
+            buffer_s=self.buffer_s(StreamType.VIDEO),
+            estimate_bps=self.estimator.estimate_bps(),
+            last_level=self._last_selected_level,
+            next_index=next_index if next_index is not None else 0,
+        )
+        level = self.abr.select_level(ctx)
+        return min(max(level, 0), len(tracks) - 1)
+
+    def _startup_level(self) -> int:
+        assert self.manifest is not None
+        tracks = self.manifest.video_tracks
+        target = self.config.startup_track_bitrate_bps
+        if target is None:
+            return 0
+        best = min(
+            range(len(tracks)),
+            key=lambda i: abs(tracks[i].declared_bitrate_bps - target),
+        )
+        return best
+
+    def _consider_replacement(self, selected_level: int) -> FetchJob | None:
+        if self._replacement_inflight:
+            return None
+        buffer = self.buffers[StreamType.VIDEO]
+        ctx = ReplacementContext(
+            now=self.clock.now,
+            buffer=buffer,
+            play_position_s=self._play_pos,
+            buffer_s=self.buffer_s(StreamType.VIDEO),
+            selected_level=selected_level,
+            last_fetched_level=self._last_selected_level,
+        )
+        action = self.replacement.consider(ctx)
+        if action is None:
+            return None
+        if isinstance(action, DiscardTail):
+            self._execute_discard_tail(action.from_index)
+            return None  # forward fetching refills from the discard point
+        assert isinstance(action, ReplaceSingle)
+        assert self.manifest is not None
+        track = self.manifest.video_tracks[action.level]
+        if track.segments is None:
+            return self._metadata_job_for(StreamType.VIDEO, action.level, track)
+        segment = track.segments[action.index]
+        self._replacement_inflight = True
+        return FetchJob(
+            kind=JobKind.SEGMENT,
+            stream_type=StreamType.VIDEO,
+            url=segment.url,
+            byte_range=segment.byte_range,
+            index=action.index,
+            level=action.level,
+            is_replacement=True,
+            on_complete=self._on_segment_complete,
+        )
+
+    def _execute_discard_tail(self, from_index: int) -> None:
+        dropped = self.buffers[StreamType.VIDEO].discard_tail_from(from_index)
+        for segment in dropped:
+            self.events.emit(
+                SegmentDiscarded(
+                    at=self.clock.now,
+                    stream_type=StreamType.VIDEO,
+                    index=segment.index,
+                    level=segment.level,
+                    size_bytes=segment.size_bytes,
+                )
+            )
+        for job in self.scheduler.inflight_jobs(StreamType.VIDEO):
+            if (
+                job.kind is JobKind.SEGMENT
+                and not job.is_replacement
+                and job.index is not None
+                and job.index >= from_index
+            ):
+                self._stale_jobs.add(id(job))
+                self._pending[StreamType.VIDEO].discard(job.index)
+
+    def _segment_timeline(self, stream: StreamType) -> list[ClientSegmentInfo] | None:
+        assert self.manifest is not None
+        for track in self.manifest.tracks(stream):
+            if track.segments is not None:
+                return track.segments
+        return None
+
+    def _index_covering(self, timeline: list[ClientSegmentInfo], pos: float) -> int:
+        for segment in timeline:
+            if pos < segment.end_s - _EPS:
+                return segment.index
+        return timeline[-1].index
+
+    def _next_forward_index(self, stream: StreamType) -> int | None:
+        timeline = self._segment_timeline(stream)
+        if timeline is None:
+            return None
+        buffer = self.buffers[stream]
+        pending = self._pending[stream]
+        index = self._index_covering(timeline, self._play_pos)
+        while index in buffer or index in pending:
+            index += 1
+        if index > timeline[-1].index:
+            return None
+        return index
+
+    def _stream_complete(self, stream: StreamType) -> bool:
+        return (
+            self.manifest is not None
+            and self._segment_timeline(stream) is not None
+            and self._next_forward_index(stream) is None
+            and not self._pending[stream]
+        )
+
+    # -- completion handlers -------------------------------------------------
+
+    def _on_metadata_complete(self, job: FetchJob, result: JobResult) -> None:
+        now = self.clock.now
+        if job.kind is JobKind.MANIFEST:
+            if not result.success or result.text is None:
+                self._manifest_requested = False
+                self._blocked_until[StreamType.VIDEO] = (
+                    now + self.config.retry_interval_s
+                )
+                return
+            text = result.text
+            if self.cipher is not None and ManifestCipher.is_encrypted(text):
+                text = self.cipher.decrypt(text)
+            self.manifest = parse_any_manifest(text, self.manifest_url)
+            return
+        assert job.level is not None
+        key = (job.stream_type, job.level)
+        self._loading_tracks.discard(key)
+        if not result.success:
+            self._blocked_until[job.stream_type] = now + self.config.retry_interval_s
+            return
+        assert self.manifest is not None
+        track = self.manifest.tracks(job.stream_type)[job.level]
+        try:
+            if job.kind is JobKind.MEDIA_PLAYLIST and result.text is not None:
+                track.segments = parse_media_playlist(result.text, job.url)
+            elif job.kind is JobKind.INDEX and result.data is not None:
+                track.segments = segments_from_sidx(track, parse_sidx(result.data))
+        except ManifestError:
+            self._blocked_until[job.stream_type] = now + self.config.retry_interval_s
+            return
+        self._maybe_set_content_end()
+
+    def _maybe_set_content_end(self) -> None:
+        if self._content_end is not None:
+            return
+        timeline = self._segment_timeline(StreamType.VIDEO)
+        if timeline is not None:
+            self._content_end = timeline[-1].end_s
+
+    def _on_segment_complete(self, job: FetchJob, result: JobResult) -> None:
+        now = self.clock.now
+        stream = job.stream_type
+        assert job.index is not None and job.level is not None
+        if job.is_replacement:
+            self._replacement_inflight = False
+        else:
+            self._pending[stream].discard(job.index)
+        if id(job) in self._stale_jobs:
+            self._stale_jobs.discard(id(job))
+            self._emit_wasted(job, result.size_bytes)
+            return
+        if not result.success:
+            self._blocked_until[stream] = now + self.config.retry_interval_s
+            return
+        if stream is StreamType.VIDEO:
+            add_interval = getattr(self.estimator, "add_interval", None)
+            if add_interval is not None:
+                add_interval(result.size_bytes, result.started_at, result.completed_at)
+            else:
+                self.estimator.add_sample(result.size_bytes, result.transfer_duration_s)
+        assert self.manifest is not None
+        track = self.manifest.tracks(stream)[job.level]
+        assert track.segments is not None
+        info = track.segments[job.index]
+        segment = BufferedSegment(
+            stream_type=stream,
+            index=job.index,
+            start_s=info.start_s,
+            duration_s=info.duration_s,
+            level=job.level,
+            declared_bitrate_bps=track.declared_bitrate_bps,
+            size_bytes=result.size_bytes,
+            height=track.height,
+        )
+        buffer = self.buffers[stream]
+        if job.is_replacement:
+            old = buffer.get(job.index)
+            if old is None or old.start_s <= self._play_pos + 1e-6:
+                self._emit_wasted(job, result.size_bytes)
+                return
+            dropped = buffer.replace_single(segment)
+            self.events.emit(
+                SegmentDiscarded(
+                    at=now,
+                    stream_type=stream,
+                    index=dropped.index,
+                    level=dropped.level,
+                    size_bytes=dropped.size_bytes,
+                )
+            )
+        else:
+            if job.index in buffer:
+                self._emit_wasted(job, result.size_bytes)
+                return
+            buffer.insert(segment)
+            if stream is StreamType.VIDEO:
+                self._forward_video_completed += 1
+        self._maybe_set_content_end()
+        self.events.emit(
+            SegmentCompleted(
+                at=now,
+                stream_type=stream,
+                index=job.index,
+                level=job.level,
+                declared_bitrate_bps=track.declared_bitrate_bps,
+                size_bytes=result.size_bytes,
+                download_duration_s=result.duration_s,
+                is_replacement=job.is_replacement,
+            )
+        )
+
+    def _emit_wasted(self, job: FetchJob, size_bytes: int) -> None:
+        self.events.emit(
+            SegmentDiscarded(
+                at=self.clock.now,
+                stream_type=job.stream_type,
+                index=job.index or 0,
+                level=job.level or 0,
+                size_bytes=size_bytes,
+            )
+        )

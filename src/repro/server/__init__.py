@@ -1,0 +1,17 @@
+"""Server substrate: the HTTP origin serving manifests and media."""
+
+from repro.server.origin import (
+    DashHosting,
+    HlsHosting,
+    Hosting,
+    OriginServer,
+    SmoothHosting,
+)
+
+__all__ = [
+    "DashHosting",
+    "HlsHosting",
+    "Hosting",
+    "OriginServer",
+    "SmoothHosting",
+]

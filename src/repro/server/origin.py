@@ -1,0 +1,219 @@
+"""HTTP origin server.
+
+Hosts media assets in any of the three HAS protocols: it materialises
+the manifests via the builders in :mod:`repro.manifest`, registers a
+resource per URL, and answers GET/HEAD requests (with byte-range
+support for DASH single-file tracks, whose head bytes are the real
+encoded sidx box).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.manifest.dash import DashBuilder, SegmentAddressing
+from repro.manifest.hls import HlsBuilder
+from repro.manifest.modifier import ManifestCipher
+from repro.manifest.smooth import SmoothBuilder
+from repro.media.track import MediaAsset
+from repro.net.http import HttpMethod, HttpRequest, HttpStatus, ResponsePlan
+
+
+@dataclass(frozen=True)
+class _TextResource:
+    text: str
+
+    def respond(self, request: HttpRequest) -> ResponsePlan:
+        if request.byte_range is not None:
+            raise _RangeError
+        return ResponsePlan.ok_text(self.text)
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self.text.encode("utf-8"))
+
+
+@dataclass(frozen=True)
+class _OpaqueResource:
+    size: int
+
+    def respond(self, request: HttpRequest) -> ResponsePlan:
+        if request.byte_range is None:
+            return ResponsePlan.ok_opaque(self.size)
+        start, end = request.byte_range
+        if end >= self.size:
+            raise _RangeError
+        return ResponsePlan.ok_opaque(end - start + 1, partial=True)
+
+    @property
+    def size_bytes(self) -> int:
+        return self.size
+
+
+@dataclass(frozen=True)
+class _MediaFileResource:
+    """A DASH single-file track: real sidx bytes, then opaque media."""
+
+    total_size: int
+    header: bytes
+
+    def respond(self, request: HttpRequest) -> ResponsePlan:
+        if request.byte_range is None:
+            return ResponsePlan.ok_opaque(self.total_size)
+        start, end = request.byte_range
+        if end >= self.total_size:
+            raise _RangeError
+        if end < len(self.header):
+            return ResponsePlan.ok_data(self.header[start:end + 1], partial=True)
+        return ResponsePlan.ok_opaque(end - start + 1, partial=True)
+
+    @property
+    def size_bytes(self) -> int:
+        return self.total_size
+
+
+class _RangeError(Exception):
+    """Requested range not satisfiable."""
+
+
+@dataclass(frozen=True)
+class Hosting:
+    """Base record of one hosted asset: where its manifest lives."""
+
+    asset: MediaAsset
+    manifest_url: str
+
+
+@dataclass(frozen=True)
+class HlsHosting(Hosting):
+    builder: HlsBuilder = field(repr=False, default=None)  # type: ignore[assignment]
+
+
+@dataclass(frozen=True)
+class DashHosting(Hosting):
+    builder: DashBuilder = field(repr=False, default=None)  # type: ignore[assignment]
+    encrypted: bool = False
+
+
+@dataclass(frozen=True)
+class SmoothHosting(Hosting):
+    builder: SmoothBuilder = field(repr=False, default=None)  # type: ignore[assignment]
+
+
+class OriginServer:
+    """A content server addressed purely by URL (plus byte ranges)."""
+
+    def __init__(self) -> None:
+        self._resources: dict[str, object] = {}
+        self.requests_served = 0
+
+    # -- hosting ------------------------------------------------------------
+
+    def host_hls(self, asset: MediaAsset, base_url: str) -> HlsHosting:
+        builder = HlsBuilder(base_url=base_url, asset=asset)
+        self._register(builder.master_url, _TextResource(builder.master_playlist()))
+        for track in asset.video_tracks:
+            self._register(
+                builder.media_playlist_url(track),
+                _TextResource(builder.media_playlist(track)),
+            )
+            for segment in track.segments:
+                self._register(
+                    builder.segment_url(track, segment.index),
+                    _OpaqueResource(segment.size_bytes),
+                )
+        return HlsHosting(asset=asset, manifest_url=builder.master_url, builder=builder)
+
+    def host_dash(
+        self,
+        asset: MediaAsset,
+        base_url: str,
+        *,
+        addressing: SegmentAddressing = SegmentAddressing.SIDX,
+        cipher: Optional[ManifestCipher] = None,
+        mpd_override: Optional[str] = None,
+    ) -> DashHosting:
+        """Host ``asset`` as DASH.
+
+        ``cipher`` enables D3-style application-layer MPD encryption.
+        ``mpd_override`` substitutes manifest text (used by black-box
+        experiments that serve modified variants from the proxy side).
+        """
+        builder = DashBuilder(base_url=base_url, asset=asset, addressing=addressing)
+        mpd_text = mpd_override if mpd_override is not None else builder.mpd()
+        if cipher is not None:
+            mpd_text = cipher.encrypt(mpd_text)
+        self._register(builder.mpd_url, _TextResource(mpd_text))
+        for track in asset.video_tracks + asset.audio_tracks:
+            if addressing is SegmentAddressing.TEMPLATE:
+                for segment in track.segments:
+                    self._register(
+                        builder.template_segment_url(track, segment.index),
+                        _OpaqueResource(segment.size_bytes),
+                    )
+                continue
+            self._register(
+                builder.media_url(track),
+                _MediaFileResource(
+                    total_size=builder.media_file_size(track),
+                    header=builder.sidx(track).encode(),
+                ),
+            )
+        return DashHosting(
+            asset=asset,
+            manifest_url=builder.mpd_url,
+            builder=builder,
+            encrypted=cipher is not None,
+        )
+
+    def host_smooth(self, asset: MediaAsset, base_url: str) -> SmoothHosting:
+        builder = SmoothBuilder(base_url=base_url, asset=asset)
+        self._register(builder.manifest_url, _TextResource(builder.manifest()))
+        for track in asset.video_tracks + asset.audio_tracks:
+            for segment in track.segments:
+                self._register(
+                    builder.fragment_url(track, segment.index),
+                    _OpaqueResource(segment.size_bytes),
+                )
+        return SmoothHosting(
+            asset=asset, manifest_url=builder.manifest_url, builder=builder
+        )
+
+    def replace_text_resource(self, url: str, text: str) -> None:
+        """Swap the body of a hosted text resource (manifest variants)."""
+        if url not in self._resources:
+            raise KeyError(f"no resource at {url}")
+        self._resources[url] = _TextResource(text)
+
+    def _register(self, url: str, resource) -> None:
+        if url in self._resources:
+            raise ValueError(f"duplicate resource URL: {url}")
+        self._resources[url] = resource
+
+    # -- serving ------------------------------------------------------------
+
+    def handle(self, request: HttpRequest) -> ResponsePlan:
+        self.requests_served += 1
+        resource = self._resources.get(request.url)
+        if resource is None:
+            return ResponsePlan.error(HttpStatus.NOT_FOUND)
+        if request.method is HttpMethod.HEAD:
+            return ResponsePlan(status=HttpStatus.OK, size_bytes=1)
+        try:
+            return resource.respond(request)
+        except _RangeError:
+            return ResponsePlan.error(HttpStatus.NOT_FOUND)
+
+    # -- out-of-band helpers (offline methodology, like curl HEAD) ----------
+
+    def content_length(self, url: str) -> int:
+        """Size a HEAD request would report (used offline, as the paper
+        uses curl to size HLS/SmoothStreaming segments, section 3.1)."""
+        resource = self._resources.get(url)
+        if resource is None:
+            raise KeyError(f"no resource at {url}")
+        return resource.size_bytes
+
+    def has_resource(self, url: str) -> bool:
+        return url in self._resources

@@ -1,0 +1,34 @@
+"""Service models: the paper's 12 studied VOD services + ExoPlayer.
+
+Each :class:`ServiceSpec` encodes one column of Table 1 (plus the
+Table 2 design flaws) as configuration for the generic player engine
+and server substrate.  Nothing about the *outcomes* (stalls, switches,
+replacement waste) is scripted — they emerge when the configured
+players meet the network.
+"""
+
+from repro.services.profiles import (
+    ALL_SERVICE_NAMES,
+    BuiltService,
+    SERVICES,
+    ServiceSpec,
+    build_service,
+    get_service,
+)
+from repro.services.exoplayer import (
+    exoplayer_config,
+    sintel_hls_spec,
+    testcard_dash_spec,
+)
+
+__all__ = [
+    "ALL_SERVICE_NAMES",
+    "BuiltService",
+    "SERVICES",
+    "ServiceSpec",
+    "build_service",
+    "get_service",
+    "exoplayer_config",
+    "sintel_hls_spec",
+    "testcard_dash_spec",
+]

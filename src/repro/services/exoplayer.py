@@ -1,0 +1,131 @@
+"""ExoPlayer presets and the public test streams of section 4.
+
+Section 4 evaluates fixes on ExoPlayer playing two public streams: the
+BBC DASH *Testcard* (Figures 11 and 15) and a VBR-encoded *Sintel* HLS
+ladder whose declared bitrates are set to twice the average actual
+bitrate (Figure 13).  We model both as service specs, and expose a
+config factory covering the ExoPlayer variants the paper exercises:
+
+* ``sr="v1"``      — ExoPlayer v1: SR enabled with the tail-discard flaw;
+* ``sr="none"``    — ExoPlayer v2 default: SR deactivated;
+* ``sr="improved"``— the paper's per-segment, higher-quality-only SR
+  (requires the improved buffer that can drop a mid-buffer segment);
+* ``sr="capped"``  — improved SR restricted to segments at or below
+  720p, the data-saving variant of section 4.1.3;
+* ``use_actual``   — section 4.2's actual-bitrate-aware adaptation.
+"""
+
+from __future__ import annotations
+
+from repro.manifest.dash import SegmentAddressing
+from repro.manifest.types import Protocol
+from repro.media.encoder import DeclaredBitratePolicy, EncodingMode
+from repro.player.abr import ExoPlayerAbr
+from repro.player.config import PlayerConfig, SchedulerStrategy
+from repro.player.estimator import SlidingWindowEstimator
+from repro.player.replacement import (
+    ExoV1Replacement,
+    ImprovedReplacement,
+    NoReplacement,
+)
+from repro.services.profiles import ServiceSpec
+from repro.util import kbps
+
+SR_MODES = ("none", "v1", "improved", "capped")
+
+
+def testcard_dash_spec(segment_duration_s: float = 4.0) -> ServiceSpec:
+    """The public DASH stream used for the SR and startup evaluations."""
+    return ServiceSpec(
+        name="TESTCARD",
+        protocol=Protocol.DASH,
+        ladder_kbps=(235, 375, 560, 750, 1050, 1750, 2350, 3850),
+        # The BBC ladder tops out with two 1080p rungs; the 720p-capped
+        # SR policy of section 4.1.3 turns on exactly this distinction.
+        ladder_heights=(180, 240, 360, 396, 480, 720, 1080, 1080),
+        # The testcard pattern is static content: effectively CBR, so
+        # declared bitrates track actual bitrates closely.
+        encoding=EncodingMode.CBR,
+        declared_policy=DeclaredBitratePolicy.PEAK,
+        segment_duration_s=segment_duration_s,
+        separate_audio=True,
+        dash_addressing=SegmentAddressing.SIDX,
+        max_tcp=2,
+        strategy=SchedulerStrategy.SYNCED_AV,
+        startup_buffer_s=10.0,
+        startup_bitrate_kbps=375,
+        pausing_threshold_s=30.0,
+        resuming_threshold_s=15.0,
+    )
+
+
+def sintel_hls_spec(segment_duration_s: float = 4.0) -> ServiceSpec:
+    """VBR Sintel, 7 tracks, declared bitrate = peak ~= 2x average
+    (the section 4.2 test stream)."""
+    return ServiceSpec(
+        name="SINTEL",
+        protocol=Protocol.HLS,
+        ladder_kbps=(250, 400, 640, 1000, 1600, 2560, 4100),
+        encoding=EncodingMode.VBR,
+        declared_policy=DeclaredBitratePolicy.PEAK,
+        segment_duration_s=segment_duration_s,
+        separate_audio=False,
+        max_tcp=1,
+        strategy=SchedulerStrategy.SINGLE,
+        startup_buffer_s=10.0,
+        startup_bitrate_kbps=400,
+        pausing_threshold_s=30.0,
+        resuming_threshold_s=15.0,
+    )
+
+
+def exoplayer_config(
+    *,
+    sr: str = "none",
+    use_actual: bool = False,
+    startup_buffer_s: float = 10.0,
+    startup_min_segments: int = 1,
+    startup_track_kbps: float = 400.0,
+    abr_warmup_segments: int = 1,
+    pause_threshold_s: float = 30.0,
+    resume_threshold_s: float = 15.0,
+    strategy: SchedulerStrategy = SchedulerStrategy.SYNCED_AV,
+    connections: int = 2,
+    sr_quality_cap_height: int = 720,
+    name: str | None = None,
+) -> PlayerConfig:
+    """Build a PlayerConfig for one ExoPlayer variant."""
+    if sr not in SR_MODES:
+        raise ValueError(f"sr must be one of {SR_MODES}, got {sr!r}")
+    if sr == "v1":
+        replacement_factory = ExoV1Replacement
+    elif sr == "improved":
+        replacement_factory = ImprovedReplacement
+    elif sr == "capped":
+        cap = sr_quality_cap_height
+
+        def replacement_factory():
+            return ImprovedReplacement(quality_cap_height=cap)
+    else:
+        replacement_factory = NoReplacement
+
+    def abr_factory():
+        return ExoPlayerAbr(use_actual=use_actual)
+
+    return PlayerConfig(
+        name=name or f"exoplayer-sr={sr}-actual={use_actual}",
+        startup_buffer_s=startup_buffer_s,
+        startup_min_segments=startup_min_segments,
+        startup_track_bitrate_bps=kbps(startup_track_kbps),
+        abr_warmup_segments=abr_warmup_segments,
+        pause_threshold_s=pause_threshold_s,
+        resume_threshold_s=resume_threshold_s,
+        strategy=strategy,
+        connections=connections,
+        persistent_connections=True,
+        abr_factory=abr_factory,
+        estimator_factory=lambda: SlidingWindowEstimator(5),
+        replacement_factory=replacement_factory,
+        allow_mid_replacement=sr in ("improved", "capped"),
+        prefetch_all_indexes=use_actual or sr in ("improved", "capped"),
+    )

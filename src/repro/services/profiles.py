@@ -1,0 +1,473 @@
+"""The 12 studied services (H1–H6, D1–D4, S1–S2) as executable specs.
+
+Every design value comes from Table 1 of the paper; the design *flaws*
+come from Table 2 and the section 3/4 narratives:
+
+* H2/H5/S1 set their lowest track above 500 kbps (frequent stalls under
+  poor bandwidth);
+* D2's adaptation considers only declared bitrates although its VBR
+  declared bitrate is ~2x the average actual (low utilisation);
+* D1 spreads audio and video over uncoordinated connection pools
+  (Figure 6 desync stalls) and its memoryless greedy ABR oscillates
+  (Figure 8);
+* H2/H3/H5 re-establish a TCP connection per segment (throughput loss);
+* S2 resumes downloading only when the buffer has drained to 4 s
+  (Figure 7 stalls);
+* H3/H4/H6/D2/D4 start playback after a single segment (startup
+  stalls, Figure 14), and H3 additionally holds its ~1 Mbps startup
+  track for a second segment;
+* H1/H4 perform ExoPlayer-v1-style segment replacement (section 4.1);
+* H1/H4/H6/D1 down-switch immediately on bandwidth drops regardless of
+  buffer, while H2/D3/S1 hold the track above a buffer threshold.
+
+Ladder bitrates are chosen to satisfy every constraint the paper
+reports: highest tracks between 2 and 5.5 Mbps, adjacent spacing within
+1.5–2x, a sub-500 kbps bottom for all but H2/H5/S1, and each service's
+startup track at the Table 1 bitrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.manifest.dash import SegmentAddressing
+from repro.manifest.modifier import ManifestCipher
+from repro.manifest.types import Protocol
+from repro.media.content import VideoContent
+from repro.media.encoder import (
+    DeclaredBitratePolicy,
+    Encoder,
+    EncoderSettings,
+    EncodingMode,
+    LadderRung,
+)
+from repro.media.track import MediaAsset
+from repro.player.abr import RateBasedAbr, UnstableAbr
+from repro.player.config import PlayerConfig, SchedulerStrategy
+from repro.player.estimator import AggregateWindowEstimator, SlidingWindowEstimator
+from repro.player.replacement import (
+    ExoV1Replacement,
+    ImprovedReplacement,
+    NoReplacement,
+)
+from repro.server.origin import Hosting, OriginServer
+from repro.util import kbps
+
+DEFAULT_BASE_URL = "https://cdn.example.com"
+DEFAULT_CONTENT_SEED = 11
+DEFAULT_DURATION_S = 600.0
+
+
+def height_for_kbps(declared_kbps: float) -> int:
+    """Map a declared bitrate to a typical encode height."""
+    ladder = (
+        (200, 180), (400, 270), (700, 360), (1200, 480),
+        (2000, 576), (3300, 720), (float("inf"), 1080),
+    )
+    for limit, height in ladder:
+        if declared_kbps <= limit:
+            return height
+    raise AssertionError("unreachable")
+
+
+@dataclass(frozen=True)
+class ServiceSpec:
+    """One service's complete design (a Table 1 column)."""
+
+    name: str
+    protocol: Protocol
+    # server side
+    ladder_kbps: tuple[float, ...]
+    encoding: EncodingMode
+    declared_policy: DeclaredBitratePolicy
+    segment_duration_s: float
+    separate_audio: bool
+    audio_segment_duration_s: Optional[float] = None
+    audio_bitrate_kbps: float = 64.0
+    ladder_heights: Optional[tuple[int, ...]] = None
+    dash_addressing: Optional[SegmentAddressing] = None
+    encrypted_manifest: bool = False
+    # transport
+    max_tcp: int = 1
+    persistent: bool = True
+    strategy: SchedulerStrategy = SchedulerStrategy.SINGLE
+    video_connections: int = 5
+    audio_connections: int = 1
+    # startup
+    startup_buffer_s: float = 10.0
+    startup_bitrate_kbps: float = 500.0
+    startup_min_segments: int = 1
+    abr_warmup_segments: int = 1
+    # download control
+    pausing_threshold_s: float = 60.0
+    resuming_threshold_s: float = 50.0
+    # adaptation
+    abr_safety_factor: float = 0.75
+    abr_use_actual: bool = False
+    abr_horizon_segments: int = 3
+    abr_unstable: bool = False
+    decrease_buffer_threshold_s: Optional[float] = None
+    memoryless_estimator: bool = False
+    prefetch_all_indexes: bool = False
+    # segment replacement
+    performs_sr: bool = False
+    improved_sr: bool = False
+
+    def __post_init__(self) -> None:
+        if list(self.ladder_kbps) != sorted(self.ladder_kbps):
+            raise ValueError(f"{self.name}: ladder must be ascending")
+        if self.separate_audio and self.audio_segment_duration_s is None:
+            object.__setattr__(
+                self, "audio_segment_duration_s", self.segment_duration_s
+            )
+        if self.protocol is Protocol.DASH and self.dash_addressing is None:
+            raise ValueError(f"{self.name}: DASH services need an addressing mode")
+
+    # -- derived paper quantities -------------------------------------------
+
+    @property
+    def startup_segments(self) -> int:
+        """How many segments the startup buffer corresponds to."""
+        import math
+
+        return max(1, math.ceil(
+            self.startup_buffer_s / self.segment_duration_s - 1e-9
+        ))
+
+    @property
+    def lowest_track_kbps(self) -> float:
+        return self.ladder_kbps[0]
+
+    @property
+    def highest_track_kbps(self) -> float:
+        return self.ladder_kbps[-1]
+
+    # -- construction ----------------------------------------------------------
+
+    def ladder(self) -> list[LadderRung]:
+        if self.ladder_heights is not None:
+            if len(self.ladder_heights) != len(self.ladder_kbps):
+                raise ValueError(
+                    f"{self.name}: ladder_heights must match ladder_kbps"
+                )
+            heights = self.ladder_heights
+        else:
+            heights = tuple(
+                height_for_kbps(rate) for rate in self.ladder_kbps
+            )
+        return [
+            LadderRung(declared_bitrate_bps=kbps(rate), height=height)
+            for rate, height in zip(self.ladder_kbps, heights)
+        ]
+
+    def encode_asset(
+        self,
+        duration_s: float = DEFAULT_DURATION_S,
+        content_seed: int = DEFAULT_CONTENT_SEED,
+    ) -> MediaAsset:
+        content = VideoContent.generate(
+            content_id=f"{self.name.lower()}-title",
+            duration_s=duration_s,
+            seed=content_seed,
+        )
+        encoder = Encoder(
+            EncoderSettings(
+                segment_duration_s=self.segment_duration_s,
+                mode=self.encoding,
+                declared_policy=self.declared_policy,
+                seed=content_seed,
+            )
+        )
+        video_tracks = encoder.encode_ladder(content, self.ladder())
+        audio_tracks = ()
+        if self.separate_audio:
+            assert self.audio_segment_duration_s is not None
+            audio_tracks = (
+                encoder.encode_audio(
+                    content,
+                    kbps(self.audio_bitrate_kbps),
+                    self.audio_segment_duration_s,
+                ),
+            )
+        return MediaAsset(
+            asset_id=f"{self.name.lower()}-title",
+            video_tracks=video_tracks,
+            audio_tracks=audio_tracks,
+        )
+
+    def player_config(self) -> PlayerConfig:
+        if self.abr_unstable:
+            safety = self.abr_safety_factor
+
+            def abr_factory():
+                return UnstableAbr(safety_factor=safety)
+        else:
+            safety = self.abr_safety_factor
+            use_actual = self.abr_use_actual
+            guard = self.decrease_buffer_threshold_s
+            horizon = self.abr_horizon_segments
+
+            def abr_factory():
+                return RateBasedAbr(
+                    safety,
+                    use_actual=use_actual,
+                    decrease_buffer_threshold_s=guard,
+                    horizon=horizon,
+                )
+
+        if self.memoryless_estimator:
+            # Interface-level: the window must cover the connection
+            # concurrency so parallel downloads aggregate correctly.
+            # Selection stays jumpy because the greedy per-segment ABR
+            # chases individual VBR segment sizes (the D1 design).
+            def estimator_factory():
+                return AggregateWindowEstimator(6)
+        else:
+            def estimator_factory():
+                return SlidingWindowEstimator(6)
+
+        if self.improved_sr:
+            replacement_factory = ImprovedReplacement
+        elif self.performs_sr:
+            replacement_factory = ExoV1Replacement
+        else:
+            replacement_factory = NoReplacement
+        return PlayerConfig(
+            name=self.name,
+            startup_buffer_s=self.startup_buffer_s,
+            startup_min_segments=self.startup_min_segments,
+            startup_track_bitrate_bps=kbps(self.startup_bitrate_kbps),
+            abr_warmup_segments=self.abr_warmup_segments,
+            pause_threshold_s=self.pausing_threshold_s,
+            resume_threshold_s=self.resuming_threshold_s,
+            strategy=self.strategy,
+            connections=self.max_tcp,
+            video_connections=self.video_connections,
+            audio_connections=self.audio_connections,
+            persistent_connections=self.persistent,
+            abr_factory=abr_factory,
+            estimator_factory=estimator_factory,
+            replacement_factory=replacement_factory,
+            allow_mid_replacement=self.improved_sr,
+            prefetch_all_indexes=self.prefetch_all_indexes,
+        )
+
+
+@dataclass(frozen=True)
+class BuiltService:
+    """A service hosted on a server and ready to stream."""
+
+    spec: ServiceSpec
+    asset: MediaAsset
+    hosting: Hosting
+    player_config: PlayerConfig
+    cipher: Optional[ManifestCipher]
+
+    @property
+    def manifest_url(self) -> str:
+        return self.hosting.manifest_url
+
+
+def build_service(
+    spec_or_name,
+    server: OriginServer,
+    *,
+    duration_s: float = DEFAULT_DURATION_S,
+    content_seed: int = DEFAULT_CONTENT_SEED,
+    base_url: str = DEFAULT_BASE_URL,
+    player_config: Optional[PlayerConfig] = None,
+) -> BuiltService:
+    """Encode the service's catalogue, host it, and build its player config.
+
+    ``player_config`` overrides the spec-derived config (used by the
+    best-practice experiments that fix one knob at a time).
+    """
+    spec = get_service(spec_or_name) if isinstance(spec_or_name, str) else spec_or_name
+    asset = spec.encode_asset(duration_s=duration_s, content_seed=content_seed)
+    cipher: Optional[ManifestCipher] = None
+    if spec.protocol is Protocol.HLS:
+        hosting = server.host_hls(asset, base_url)
+    elif spec.protocol is Protocol.DASH:
+        if spec.encrypted_manifest:
+            cipher = ManifestCipher()
+        assert spec.dash_addressing is not None
+        hosting = server.host_dash(
+            asset, base_url, addressing=spec.dash_addressing, cipher=cipher
+        )
+    else:
+        hosting = server.host_smooth(asset, base_url)
+    return BuiltService(
+        spec=spec,
+        asset=asset,
+        hosting=hosting,
+        player_config=player_config or spec.player_config(),
+        cipher=cipher,
+    )
+
+
+# ---------------------------------------------------------------------------
+# The twelve services (Table 1).
+# ---------------------------------------------------------------------------
+
+SERVICES: dict[str, ServiceSpec] = {}
+
+
+def _register(spec: ServiceSpec) -> ServiceSpec:
+    SERVICES[spec.name] = spec
+    return spec
+
+
+H1 = _register(ServiceSpec(
+    name="H1", protocol=Protocol.HLS,
+    ladder_kbps=(330, 630, 1100, 2000, 3500, 5500),
+    encoding=EncodingMode.VBR, declared_policy=DeclaredBitratePolicy.PEAK,
+    segment_duration_s=4.0, separate_audio=False,
+    max_tcp=1, persistent=True, strategy=SchedulerStrategy.SINGLE,
+    startup_buffer_s=8.0, startup_bitrate_kbps=630,
+    pausing_threshold_s=95.0, resuming_threshold_s=85.0,
+    abr_safety_factor=0.75, performs_sr=True,
+))
+
+H2 = _register(ServiceSpec(
+    name="H2", protocol=Protocol.HLS,
+    ladder_kbps=(670, 1330, 2400, 4300),
+    encoding=EncodingMode.CBR, declared_policy=DeclaredBitratePolicy.PEAK,
+    segment_duration_s=2.0, separate_audio=False,
+    max_tcp=1, persistent=False, strategy=SchedulerStrategy.SINGLE,
+    startup_buffer_s=8.0, startup_bitrate_kbps=1330,
+    pausing_threshold_s=90.0, resuming_threshold_s=84.0,
+    abr_safety_factor=0.75, decrease_buffer_threshold_s=40.0,
+))
+
+H3 = _register(ServiceSpec(
+    name="H3", protocol=Protocol.HLS,
+    ladder_kbps=(260, 520, 1050, 1900, 3400),
+    encoding=EncodingMode.CBR, declared_policy=DeclaredBitratePolicy.PEAK,
+    segment_duration_s=9.0, separate_audio=False,
+    max_tcp=1, persistent=False, strategy=SchedulerStrategy.SINGLE,
+    startup_buffer_s=9.0, startup_bitrate_kbps=1050,
+    abr_warmup_segments=2,  # holds the startup track for a 2nd segment (Fig 14)
+    pausing_threshold_s=40.0, resuming_threshold_s=30.0,
+    abr_safety_factor=0.75,
+))
+
+H4 = _register(ServiceSpec(
+    name="H4", protocol=Protocol.HLS,
+    ladder_kbps=(250, 470, 900, 1700, 3000, 5000),
+    encoding=EncodingMode.VBR, declared_policy=DeclaredBitratePolicy.PEAK,
+    segment_duration_s=9.0, separate_audio=False,
+    max_tcp=1, persistent=True, strategy=SchedulerStrategy.SINGLE,
+    startup_buffer_s=9.0, startup_bitrate_kbps=470,
+    pausing_threshold_s=155.0, resuming_threshold_s=135.0,
+    abr_safety_factor=0.75, performs_sr=True,
+))
+
+H5 = _register(ServiceSpec(
+    name="H5", protocol=Protocol.HLS,
+    ladder_kbps=(560, 1000, 1850, 3300, 5500),
+    encoding=EncodingMode.CBR, declared_policy=DeclaredBitratePolicy.PEAK,
+    segment_duration_s=6.0, separate_audio=False,
+    max_tcp=1, persistent=False, strategy=SchedulerStrategy.SINGLE,
+    startup_buffer_s=12.0, startup_bitrate_kbps=1850,
+    pausing_threshold_s=30.0, resuming_threshold_s=20.0,
+    abr_safety_factor=0.75,
+))
+
+H6 = _register(ServiceSpec(
+    name="H6", protocol=Protocol.HLS,
+    ladder_kbps=(230, 440, 880, 1760, 3200),
+    encoding=EncodingMode.VBR, declared_policy=DeclaredBitratePolicy.PEAK,
+    segment_duration_s=10.0, separate_audio=False,
+    max_tcp=1, persistent=True, strategy=SchedulerStrategy.SINGLE,
+    startup_buffer_s=10.0, startup_bitrate_kbps=880,
+    pausing_threshold_s=80.0, resuming_threshold_s=70.0,
+    abr_safety_factor=0.75,
+))
+
+D1 = _register(ServiceSpec(
+    name="D1", protocol=Protocol.DASH,
+    ladder_kbps=(210, 410, 820, 1600, 2900, 5200),
+    encoding=EncodingMode.VBR, declared_policy=DeclaredBitratePolicy.PEAK,
+    segment_duration_s=5.0, separate_audio=True, audio_segment_duration_s=2.0,
+    dash_addressing=SegmentAddressing.INLINE,
+    max_tcp=6, persistent=True, strategy=SchedulerStrategy.PARTITIONED_PARALLEL,
+    video_connections=5, audio_connections=1,
+    startup_buffer_s=15.0, startup_bitrate_kbps=410,
+    pausing_threshold_s=182.0, resuming_threshold_s=178.0,
+    abr_safety_factor=0.65, abr_unstable=True, memoryless_estimator=True,
+))
+
+D2 = _register(ServiceSpec(
+    name="D2", protocol=Protocol.DASH,
+    ladder_kbps=(300, 600, 1200, 2300, 4000),
+    encoding=EncodingMode.VBR, declared_policy=DeclaredBitratePolicy.PEAK,
+    segment_duration_s=5.0, separate_audio=True,
+    dash_addressing=SegmentAddressing.SIDX,
+    max_tcp=2, persistent=True, strategy=SchedulerStrategy.SYNCED_AV,
+    startup_buffer_s=5.0, startup_bitrate_kbps=300,
+    pausing_threshold_s=30.0, resuming_threshold_s=25.0,
+    abr_safety_factor=0.6, abr_use_actual=False,  # declared-only (section 4.2)
+))
+
+D3 = _register(ServiceSpec(
+    name="D3", protocol=Protocol.DASH,
+    ladder_kbps=(400, 800, 1500, 2700, 4500),
+    encoding=EncodingMode.VBR, declared_policy=DeclaredBitratePolicy.PEAK,
+    segment_duration_s=2.0, separate_audio=True,
+    dash_addressing=SegmentAddressing.SIDX, encrypted_manifest=True,
+    max_tcp=3, persistent=True, strategy=SchedulerStrategy.SPLIT,
+    startup_buffer_s=8.0, startup_bitrate_kbps=400,
+    pausing_threshold_s=120.0, resuming_threshold_s=90.0,
+    abr_safety_factor=0.55, abr_use_actual=True,
+    # A deep buffer makes a short lookahead meaningless: D3 budgets over
+    # ~24 s of upcoming segments.
+    abr_horizon_segments=12,
+    decrease_buffer_threshold_s=30.0,
+    prefetch_all_indexes=True,  # actual-bitrate-aware selection needs every sidx
+))
+
+D4 = _register(ServiceSpec(
+    name="D4", protocol=Protocol.DASH,
+    ladder_kbps=(350, 670, 1300, 2400, 4200),
+    encoding=EncodingMode.VBR, declared_policy=DeclaredBitratePolicy.PEAK,
+    segment_duration_s=6.0, separate_audio=True,
+    dash_addressing=SegmentAddressing.SIDX,
+    max_tcp=3, persistent=True, strategy=SchedulerStrategy.SYNCED_AV,
+    startup_buffer_s=6.0, startup_bitrate_kbps=670,
+    pausing_threshold_s=34.0, resuming_threshold_s=15.0,
+    abr_safety_factor=0.75,
+))
+
+S1 = _register(ServiceSpec(
+    name="S1", protocol=Protocol.SMOOTH,
+    ladder_kbps=(680, 1350, 2500, 4400),
+    encoding=EncodingMode.VBR, declared_policy=DeclaredBitratePolicy.AVERAGE,
+    segment_duration_s=2.0, separate_audio=True,
+    max_tcp=2, persistent=True, strategy=SchedulerStrategy.SYNCED_AV,
+    startup_buffer_s=16.0, startup_bitrate_kbps=1350,
+    pausing_threshold_s=180.0, resuming_threshold_s=175.0,
+    abr_safety_factor=0.95, decrease_buffer_threshold_s=50.0,
+))
+
+S2 = _register(ServiceSpec(
+    name="S2", protocol=Protocol.SMOOTH,
+    ladder_kbps=(400, 760, 1500, 2800),
+    encoding=EncodingMode.VBR, declared_policy=DeclaredBitratePolicy.AVERAGE,
+    segment_duration_s=3.0, separate_audio=True, audio_segment_duration_s=2.0,
+    max_tcp=2, persistent=True, strategy=SchedulerStrategy.SYNCED_AV,
+    startup_buffer_s=6.0, startup_bitrate_kbps=760,
+    pausing_threshold_s=30.0, resuming_threshold_s=4.0,
+    abr_safety_factor=0.75,
+))
+
+ALL_SERVICE_NAMES = tuple(SERVICES)
+
+
+def get_service(name: str) -> ServiceSpec:
+    try:
+        return SERVICES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown service {name!r}; available: {', '.join(SERVICES)}"
+        ) from None

@@ -1,0 +1,36 @@
+"""Unit helpers.
+
+Internally the testbed uses **bits per second** for rates, **bytes** for
+sizes and **seconds** for time.  These helpers make call sites explicit
+about the units they pass.
+"""
+
+from __future__ import annotations
+
+BITS_PER_BYTE = 8
+
+
+def kbps(value: float) -> float:
+    """Kilobits per second expressed in bits per second."""
+    return value * 1_000.0
+
+
+def mbps(value: float) -> float:
+    """Megabits per second expressed in bits per second."""
+    return value * 1_000_000.0
+
+
+def to_kbps(bits_per_second: float) -> float:
+    return bits_per_second / 1_000.0
+
+
+def to_mbps(bits_per_second: float) -> float:
+    return bits_per_second / 1_000_000.0
+
+
+def bytes_to_bits(num_bytes: float) -> float:
+    return num_bytes * BITS_PER_BYTE
+
+
+def bits_to_bytes(num_bits: float) -> float:
+    return num_bits / BITS_PER_BYTE

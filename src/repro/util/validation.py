@@ -1,0 +1,21 @@
+"""Argument validation helpers with informative error messages."""
+
+from __future__ import annotations
+
+
+def check_positive(name: str, value: float) -> float:
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return value
+
+
+def check_non_negative(name: str, value: float) -> float:
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value}")
+    return value
+
+
+def check_probability(name: str, value: float) -> float:
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+    return value

@@ -1,0 +1,102 @@
+"""Shared fixtures: short sessions, cached results, tiny media assets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.session import run_session
+from repro.media.content import VideoContent
+from repro.media.encoder import (
+    DeclaredBitratePolicy,
+    Encoder,
+    EncoderSettings,
+    EncodingMode,
+    LadderRung,
+)
+from repro.media.track import MediaAsset
+from repro.net.schedule import ConstantSchedule
+from repro.net.traces import cellular_profiles
+from repro.util import kbps, mbps
+
+
+@pytest.fixture(scope="session")
+def profiles_300():
+    """The 14 cellular profiles at 300 s (shared, expensive to rebuild)."""
+    return cellular_profiles(300)
+
+
+@pytest.fixture(scope="session")
+def content_120():
+    return VideoContent.generate("unit-test-content", 120.0, seed=99)
+
+
+@pytest.fixture(scope="session")
+def small_asset(content_120) -> MediaAsset:
+    """A 120 s, 3-track VBR asset with separate audio."""
+    encoder = Encoder(
+        EncoderSettings(
+            segment_duration_s=4.0,
+            mode=EncodingMode.VBR,
+            declared_policy=DeclaredBitratePolicy.PEAK,
+            seed=5,
+        )
+    )
+    ladder = [
+        LadderRung(kbps(300), 270),
+        LadderRung(kbps(800), 480),
+        LadderRung(kbps(2000), 720),
+    ]
+    video = encoder.encode_ladder(content_120, ladder)
+    audio = (encoder.encode_audio(content_120, kbps(64), 4.0),)
+    return MediaAsset(
+        asset_id="unit-test-content", video_tracks=video, audio_tracks=audio
+    )
+
+
+@pytest.fixture(scope="session")
+def cbr_asset(content_120) -> MediaAsset:
+    encoder = Encoder(
+        EncoderSettings(
+            segment_duration_s=4.0,
+            mode=EncodingMode.CBR,
+            seed=5,
+        )
+    )
+    ladder = [LadderRung(kbps(500), 360), LadderRung(kbps(1500), 720)]
+    return MediaAsset(
+        asset_id="unit-test-content",
+        video_tracks=encoder.encode_ladder(content_120, ladder),
+    )
+
+
+def quick_session(name_or_spec, rate_mbps=4.0, duration_s=90.0, **kwargs):
+    """A short session against a constant-rate link."""
+    kwargs.setdefault("content_duration_s", duration_s)
+    return run_session(
+        name_or_spec,
+        ConstantSchedule(mbps(rate_mbps)),
+        duration_s=duration_s,
+        **kwargs,
+    )
+
+
+# Cached full-service sessions reused by several test modules.
+
+@pytest.fixture(scope="session")
+def h1_session():
+    return quick_session("H1", rate_mbps=4.0, duration_s=120.0)
+
+
+@pytest.fixture(scope="session")
+def d1_session():
+    return quick_session("D1", rate_mbps=2.0, duration_s=120.0)
+
+
+@pytest.fixture(scope="session")
+def d3_session():
+    return quick_session("D3", rate_mbps=3.0, duration_s=120.0)
+
+
+@pytest.fixture(scope="session")
+def s2_session():
+    return quick_session("S2", rate_mbps=3.0, duration_s=120.0)

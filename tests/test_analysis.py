@@ -1,0 +1,277 @@
+"""Methodology tests: the analyzer/UI/buffer inferences must reconstruct
+ground truth from nothing but flows and seekbar samples."""
+
+import pytest
+
+from repro.analysis.proxy import FlowRecord
+from repro.analysis.qoe import compute_qoe
+from repro.analysis.traffic import TrafficAnalyzer
+from repro.analysis.ui import UiMonitor
+from repro.analysis.whatif import analyze_segment_replacement
+from repro.manifest.types import Protocol
+from repro.media.track import StreamType
+from repro.net.http import HttpStatus
+from repro.player.events import ProgressSample, SegmentCompleted, StallEnded
+
+
+def analyzer_for(result) -> TrafficAnalyzer:
+    return result.analyzer
+
+
+class TestTrafficAnalyzerHls(object):
+    def test_protocol_detected(self, h1_session):
+        assert h1_session.analyzer.protocol is Protocol.HLS
+        assert not h1_session.analyzer.has_separate_audio
+
+    def test_track_ladder_recovered(self, h1_session):
+        from repro.services import get_service
+        declared = h1_session.analyzer.declared_bitrates_bps()
+        expected = [k * 1000 for k in get_service("H1").ladder_kbps]
+        assert declared == pytest.approx(expected, abs=1.0)
+
+    def test_segment_duration_recovered(self, h1_session):
+        assert h1_session.analyzer.segment_duration_s() == pytest.approx(4.0)
+
+    def test_downloads_match_ground_truth(self, h1_session):
+        truth = [e for e in h1_session.events.of_type(SegmentCompleted)
+                 if e.stream_type is StreamType.VIDEO]
+        observed = h1_session.analyzer.media_downloads(StreamType.VIDEO)
+        assert len(observed) == len(truth)
+        truth_pairs = sorted((e.index, e.level) for e in truth)
+        observed_pairs = sorted((d.index, d.level) for d in observed)
+        assert observed_pairs == truth_pairs
+
+    def test_download_sizes_match(self, h1_session):
+        truth = {(e.index, e.level): e.size_bytes
+                 for e in h1_session.events.of_type(SegmentCompleted)}
+        for download in h1_session.analyzer.media_downloads():
+            assert truth[(download.index, download.level)] == \
+                download.size_bytes
+
+    def test_connection_stats_single_persistent(self, h1_session):
+        stats = h1_session.analyzer.connection_stats(h1_session.proxy.flows)
+        assert stats["distinct_connections"] == 1
+        assert stats["persistent"]
+
+    def test_non_persistent_detected(self):
+        from tests.conftest import quick_session
+        result = quick_session("H2", rate_mbps=4.0, duration_s=60.0)
+        stats = result.analyzer.connection_stats(result.proxy.flows)
+        assert not stats["persistent"]
+
+
+class TestTrafficAnalyzerDash:
+    def test_inline_addressing(self, d1_session):
+        assert d1_session.analyzer.protocol is Protocol.DASH
+        assert d1_session.analyzer.has_separate_audio
+
+    def test_parallel_connections_observed(self, d1_session):
+        stats = d1_session.analyzer.connection_stats(d1_session.proxy.flows)
+        assert stats["distinct_connections"] == 6
+        assert stats["max_concurrent_requests"] >= 3
+        assert stats["persistent"]
+
+    def test_audio_and_video_downloads_attributed(self, d1_session):
+        video = d1_session.analyzer.media_downloads(StreamType.VIDEO)
+        audio = d1_session.analyzer.media_downloads(StreamType.AUDIO)
+        assert video and audio
+        assert {d.duration_s for d in audio} <= {2.0}
+
+    def test_encrypted_mpd_falls_back_to_sidx(self, d3_session):
+        """Footnote 4: D3's MPD is unreadable; sidx still yields segment
+        sizes/durations and peak-bitrate-derived declared bitrates."""
+        analyzer = d3_session.analyzer
+        assert analyzer.encrypted_manifest_seen
+        assert analyzer.manifest is None
+        video = analyzer.media_downloads(StreamType.VIDEO)
+        assert video
+        truth = [e for e in d3_session.events.of_type(SegmentCompleted)
+                 if e.stream_type is StreamType.VIDEO]
+        assert len(video) == len(truth)
+        # sizes recovered exactly from sidx byte ranges
+        truth_sizes = sorted(e.size_bytes for e in truth)
+        assert sorted(d.size_bytes for d in video) == truth_sizes
+
+    def test_split_subsegments_coalesced(self, d3_session):
+        """D3 issues 3 range requests per segment; the analyzer must
+        coalesce them into one download per segment."""
+        video_flows = [
+            f for f in d3_session.proxy.completed_flows()
+            if f.byte_range is not None and (f.size_bytes or 0) > 2000
+        ]
+        downloads = d3_session.analyzer.media_downloads(StreamType.VIDEO)
+        assert len(video_flows) > len(downloads)
+
+
+class TestTrafficAnalyzerSmooth:
+    def test_fragment_attribution(self, s2_session):
+        analyzer = s2_session.analyzer
+        assert analyzer.protocol is Protocol.SMOOTH
+        truth = [e for e in s2_session.events.of_type(SegmentCompleted)
+                 if e.stream_type is StreamType.VIDEO]
+        assert len(analyzer.media_downloads(StreamType.VIDEO)) == len(truth)
+
+
+class TestUiMonitor:
+    def test_startup_delay_close_to_truth(self, h1_session):
+        true_delay = h1_session.true_startup_delay_s
+        ui_delay = h1_session.ui.startup_delay_s()
+        assert ui_delay is not None
+        assert abs(ui_delay - true_delay) <= 2.0  # 1 Hz quantisation
+
+    def test_stall_detection_from_samples(self):
+        samples = (
+            [ProgressSample(at=float(t), position_s=0.0) for t in range(3)]
+            + [ProgressSample(at=float(3 + t), position_s=float(t))
+               for t in range(5)]
+            + [ProgressSample(at=float(8 + t), position_s=4.0)
+               for t in range(6)]  # frozen 6 s
+            + [ProgressSample(at=float(14 + t), position_s=4.0 + t)
+               for t in range(5)]
+        )
+        monitor = UiMonitor(samples)
+        intervals = monitor.stall_intervals()
+        assert len(intervals) == 1
+        assert intervals[0].duration_s == pytest.approx(6.0, abs=1.1)
+        assert monitor.startup_delay_s() == 4.0
+
+    def test_trailing_freeze_not_a_stall(self):
+        samples = [ProgressSample(at=float(t), position_s=min(t, 5))
+                   for t in range(20)]
+        assert UiMonitor(samples).stall_intervals() == []
+
+    def test_position_at(self):
+        samples = [ProgressSample(at=float(t), position_s=float(t))
+                   for t in range(5)]
+        monitor = UiMonitor(samples)
+        assert monitor.position_at(2.5) == 2.0
+        assert monitor.position_at(-1.0) == 0.0
+
+    def test_stall_totals_match_ground_truth(self, profiles_300):
+        from repro.core.session import run_session
+        result = run_session("S2", profiles_300[2], duration_s=300.0)
+        true_stall = result.events.total_stall_s()
+        ui_stall = result.ui.total_stall_s()
+        assert abs(ui_stall - true_stall) <= max(
+            2.0 * (result.events.stall_count() + 1), 4.0
+        )
+
+
+class TestBufferInference:
+    def test_matches_player_buffer(self, h1_session):
+        estimator = h1_session.buffer_estimator
+        inferred = estimator.occupancy_at(
+            h1_session.duration_s - 1.0, StreamType.VIDEO
+        )
+        actual = h1_session.player.buffer_s(StreamType.VIDEO)
+        assert inferred == pytest.approx(actual, abs=5.0)
+
+    def test_series_shape(self, h1_session):
+        series = h1_session.buffer_estimator.series(60.0, step_s=1.0)
+        assert len(series) == 61
+        assert series[0].video_s == 0.0
+        assert all(point.audio_s is None for point in series)
+
+    def test_audio_series_present_for_dash(self, d1_session):
+        series = d1_session.buffer_estimator.series(60.0)
+        assert any(point.audio_s is not None for point in series)
+
+
+class TestQoe:
+    def test_report_fields(self, h1_session):
+        qoe = h1_session.qoe
+        assert qoe.startup_delay_s is not None
+        assert qoe.played_s > 60.0
+        assert qoe.average_displayed_bitrate_bps > 0
+        assert qoe.media_bytes > 0
+        assert qoe.total_bytes >= qoe.media_bytes
+
+    def test_displayed_sequence_contiguous(self, h1_session):
+        indexes = [d.index for d in h1_session.qoe.displayed]
+        assert indexes == list(range(indexes[0], indexes[0] + len(indexes)))
+
+    def test_switch_counts(self, h1_session):
+        qoe = h1_session.qoe
+        assert qoe.switch_count >= 1  # startup track ramps up
+        assert qoe.nonconsecutive_switch_count <= qoe.switch_count
+
+    def test_displayed_time_never_exceeds_played(self, h1_session):
+        qoe = h1_session.qoe
+        total = sum(d.played_duration_s for d in qoe.displayed)
+        assert total <= qoe.played_s + 4.0 + 1e-6  # one segment tolerance
+
+    def test_level_time_breakdown(self, h1_session):
+        shares = h1_session.qoe.displayed_time_by_level()
+        assert sum(shares.values()) == pytest.approx(
+            sum(d.played_duration_s for d in h1_session.qoe.displayed)
+        )
+
+
+class TestWhatIf:
+    def test_no_sr_detected_for_plain_service(self, h1_session):
+        # constant ample bandwidth: the top track is reached quickly and
+        # H1's SR has nothing to replace after the ramp.
+        whatif = analyze_segment_replacement(
+            h1_session.analyzer.downloads, h1_session.ui
+        )
+        assert whatif.bytes_with_sr >= whatif.bytes_without_sr
+
+    def test_replacement_classification(self):
+        from repro.core.session import run_session
+        from repro.net.schedule import StepSchedule
+        from repro.util import kbps, mbps
+        schedule = StepSchedule(steps=((0.0, kbps(900)), (60.0, mbps(6))))
+        result = run_session("H4", schedule, duration_s=180.0,
+                             content_duration_s=400.0)
+        whatif = analyze_segment_replacement(result.analyzer.downloads,
+                                             result.ui)
+        assert whatif.sr_detected
+        assert whatif.extra_bytes > 0
+        assert whatif.replacements
+        total = (whatif.fraction_replacements("higher")
+                 + whatif.fraction_replacements("equal")
+                 + whatif.fraction_replacements("lower"))
+        assert total == pytest.approx(1.0)
+        assert whatif.replaced_run_lengths
+        assert sum(whatif.replaced_run_lengths) == len(whatif.replacements)
+
+    def test_without_sr_view_keeps_first_download(self):
+        from repro.core.session import run_session
+        from repro.net.schedule import StepSchedule
+        from repro.util import kbps, mbps
+        schedule = StepSchedule(steps=((0.0, kbps(900)), (60.0, mbps(6))))
+        result = run_session("H4", schedule, duration_s=180.0,
+                             content_duration_s=400.0)
+        whatif = analyze_segment_replacement(result.analyzer.downloads,
+                                             result.ui)
+        displayed_with = {d.index: d for d in whatif.displayed_with_sr}
+        displayed_without = {d.index: d for d in whatif.displayed_without_sr}
+        for event in whatif.replacements:
+            with_sr = displayed_with.get(event.index)
+            without = displayed_without.get(event.index)
+            if with_sr is None or without is None:
+                continue  # replaced but never rendered before session end
+            # the no-SR emulation can never show higher quality than SR
+            # did for a replaced index that was upgraded
+            if event.comparison == "higher":
+                assert without.level <= with_sr.level
+
+
+class TestProxyRecords:
+    def test_every_flow_completes(self, h1_session):
+        flows = h1_session.proxy.flows
+        assert flows
+        assert all(flow.complete for flow in flows)
+
+    def test_flow_timings_ordered(self, h1_session):
+        for flow in h1_session.proxy.completed_flows():
+            assert flow.completed_at >= flow.started_at
+
+    def test_manifest_payload_captured(self, h1_session):
+        texts = [f for f in h1_session.proxy.flows if f.text]
+        assert texts and texts[0].text.startswith("#EXTM3U")
+
+    def test_total_bytes(self, h1_session):
+        assert h1_session.proxy.total_bytes() == sum(
+            f.size_bytes for f in h1_session.proxy.completed_flows()
+        )

@@ -1,0 +1,122 @@
+"""Black-box probes must recover the configured designs (Table 1)."""
+
+import pytest
+
+from repro.blackbox import (
+    probe_convergence,
+    probe_download_thresholds,
+    probe_startup_buffer,
+    probe_step_response,
+    run_variant_experiment,
+)
+from repro.services import exoplayer_config, get_service
+from repro.services.exoplayer import testcard_dash_spec as make_testcard_spec
+from repro.util import kbps, mbps
+
+
+class TestStartupProbe:
+    @pytest.mark.parametrize("name", ["H1", "H3", "D1", "S2"])
+    def test_recovers_startup_design(self, name):
+        spec = get_service(name)
+        probe = probe_startup_buffer(name, wait_s=40.0,
+                                     content_duration_s=150.0)
+        assert probe.startup_segments == spec.startup_segments
+        assert probe.startup_buffer_s == pytest.approx(
+            spec.startup_segments * spec.segment_duration_s, abs=0.5
+        )
+        assert probe.startup_track_declared_bps == pytest.approx(
+            kbps(spec.startup_bitrate_kbps), rel=0.01
+        )
+
+    def test_probe_gives_up(self):
+        # Block everything: the probe must raise, not loop forever.
+        with pytest.raises(RuntimeError, match="did not start"):
+            probe_startup_buffer("S1", max_segments=2, wait_s=15.0,
+                                 content_duration_s=60.0)
+
+
+class TestThresholdProbe:
+    @pytest.mark.parametrize("name,tolerance", [("H1", 8.0), ("S2", 6.0)])
+    def test_recovers_thresholds(self, name, tolerance):
+        spec = get_service(name)
+        probe = probe_download_thresholds(name, duration_s=360.0)
+        assert probe.cycle_count >= 3
+        assert probe.pausing_threshold_s == pytest.approx(
+            spec.pausing_threshold_s, abs=tolerance
+        )
+        assert probe.resuming_threshold_s == pytest.approx(
+            spec.resuming_threshold_s, abs=tolerance
+        )
+        assert probe.gap_s is not None
+
+
+class TestConvergenceProbe:
+    def test_stable_services_converge(self):
+        probe = probe_convergence("H1", mbps(2.0), duration_s=240.0)
+        assert probe.stable
+        assert probe.aggressiveness is not None
+        assert probe.aggressiveness <= 0.75 + 1e-9
+
+    def test_d1_unstable(self):
+        probe = probe_convergence("D1", kbps(500), duration_s=300.0)
+        assert not probe.stable
+        assert probe.steady_switches >= 4
+
+    def test_d2_most_conservative(self):
+        d2 = probe_convergence("D2", mbps(2.0), duration_s=240.0)
+        assert d2.aggressiveness <= 0.5 + 1e-9
+
+    def test_aggressive_service_above_conservative(self):
+        aggressive = probe_convergence("D3", mbps(2.0), duration_s=240.0)
+        conservative = probe_convergence("D2", mbps(2.0), duration_s=240.0)
+        assert aggressive.aggressiveness > conservative.aggressiveness
+
+
+class TestStepProbe:
+    def test_immediate_downswitch_without_guard(self):
+        # H4 has a 155 s pause threshold and no buffer guard.
+        probe = probe_step_response("H4", high_bps=mbps(5), low_bps=kbps(500),
+                                    step_at_s=120.0, duration_s=300.0)
+        assert probe.downswitch_at is not None
+        assert probe.immediate_downswitch
+        assert probe.buffer_at_downswitch_s > 60.0
+
+    def test_guarded_service_defers(self):
+        # S1 holds its track until the buffer drains to ~50 s.  The high
+        # phase must be long and fast enough to actually build a large
+        # buffer first (S1's top track runs near 4.4 Mbps).
+        probe = probe_step_response("S1", high_bps=mbps(10), low_bps=kbps(500),
+                                    step_at_s=240.0, duration_s=600.0)
+        assert probe.downswitch_at is not None
+        assert not probe.immediate_downswitch
+        # The switch happens once the buffer has drained to the vicinity
+        # of the 50 s guard.  Each 2 s segment of S1's held track takes
+        # ~16 s to fetch over the degraded link, so the measured buffer
+        # can undershoot the threshold by roughly one decision interval.
+        spec = get_service("S1")
+        assert 10.0 < probe.decrease_buffer_threshold_estimate_s < \
+            spec.decrease_buffer_threshold_s + 10.0
+
+
+class TestVariantExperiment:
+    def test_d2_ignores_actual_bitrate(self):
+        experiment = run_variant_experiment(
+            "D2", (mbps(1.6), mbps(3.2)), duration_s=160.0, warmup_s=70.0
+        )
+        assert experiment.ignores_actual_bitrate
+
+    def test_actual_aware_player_detected(self):
+        experiment = run_variant_experiment(
+            make_testcard_spec(4.0), (mbps(0.9), mbps(1.4), mbps(2.0)),
+            duration_s=160.0, warmup_s=70.0,
+            player_config=exoplayer_config(use_actual=True),
+        )
+        assert not experiment.ignores_actual_bitrate
+
+    def test_pair_lookup(self):
+        experiment = run_variant_experiment(
+            "D2", (mbps(1.6),), duration_s=120.0, warmup_s=60.0
+        )
+        shifted, dropped = experiment.pair(mbps(1.6))
+        assert shifted.variant == "shifted"
+        assert dropped.variant == "dropped"

@@ -1,0 +1,152 @@
+"""Core orchestration: Session, experiment sweeps, best practices, RRC."""
+
+import math
+
+import pytest
+
+from repro.core.bestpractices import (
+    Issue,
+    RECOMMENDATIONS,
+    detect_av_desync,
+    detect_high_bottom_track,
+    detect_lossy_sr,
+    detect_non_persistent,
+    detect_unstable_selection,
+    diagnose_service,
+    recommendations_for,
+)
+from repro.core.experiment import run_service_over_profiles, summarize_runs
+from repro.core.session import run_session
+from repro.net.rrc import RrcState
+from repro.net.schedule import ConstantSchedule, StepSchedule
+from repro.net.traces import generate_trace
+from repro.util import kbps, mbps
+
+from tests.conftest import quick_session
+
+
+class TestSessionResult:
+    def test_methodology_views_present(self, h1_session):
+        assert h1_session.qoe is not None
+        assert h1_session.analyzer.downloads
+        assert h1_session.ui.samples
+        assert h1_session.rrc.energy_j > 0
+
+    def test_ground_truth_shortcuts(self, h1_session):
+        assert h1_session.playback_started
+        assert h1_session.true_stall_count == 0
+        assert h1_session.true_stall_s == 0.0
+
+    def test_determinism(self):
+        a = quick_session("H2", rate_mbps=2.0, duration_s=60.0)
+        b = quick_session("H2", rate_mbps=2.0, duration_s=60.0)
+        assert a.qoe.average_displayed_bitrate_bps == \
+            b.qoe.average_displayed_bitrate_bps
+        assert a.proxy.total_bytes() == b.proxy.total_bytes()
+        assert [f.url for f in a.proxy.flows] == [f.url for f in b.proxy.flows]
+
+    def test_rrc_observes_activity(self, h1_session):
+        rrc = h1_session.rrc
+        assert rrc.time_in_state[RrcState.CONNECTED_ACTIVE] > 0
+        assert rrc.promotions >= 1
+
+    def test_small_threshold_gap_prevents_idle(self):
+        """Section 3.3.2: a pause-resume gap below the RRC demotion
+        timer keeps the radio out of IDLE during steady streaming."""
+        # D1's gap is 4 s << 11 s demotion timer.
+        result = run_session("D1", ConstantSchedule(mbps(8)),
+                             duration_s=240.0, content_duration_s=600.0)
+        steady_idle = result.rrc.time_in_state[RrcState.IDLE]
+        assert steady_idle < 10.0
+
+    def test_large_threshold_gap_allows_idle(self):
+        # D4's gap is 19 s > 11 s demotion timer.
+        result = run_session("D4", ConstantSchedule(mbps(8)),
+                             duration_s=240.0, content_duration_s=600.0)
+        assert result.rrc.time_in_state[RrcState.IDLE] > 10.0
+
+
+class TestExperimentRunner:
+    def test_sweep_and_summary(self):
+        profiles = [generate_trace(pid, 90) for pid in (5, 8)]
+        runs = run_service_over_profiles("H6", profiles, duration_s=90.0)
+        assert len(runs) == 2
+        assert {run.profile_id for run in runs} == {5, 8}
+        summary = summarize_runs(runs)
+        assert summary.run_count == 2
+        assert summary.mean_bitrate_bps > 0
+        assert 0.0 <= summary.stall_run_fraction <= 1.0
+
+    def test_repetitions_use_different_content(self):
+        profiles = [generate_trace(8, 60)]
+        runs = run_service_over_profiles("H6", profiles, duration_s=60.0,
+                                         repetitions=2)
+        assert len(runs) == 2
+        bytes_a = runs[0].result.proxy.total_bytes()
+        bytes_b = runs[1].result.proxy.total_bytes()
+        assert bytes_a != bytes_b  # different content seeds
+
+    def test_summarize_rejects_empty(self):
+        with pytest.raises(ValueError):
+            summarize_runs([])
+
+
+class TestIssueDetectors:
+    def test_high_bottom_track(self):
+        h5 = quick_session("H5", rate_mbps=4.0, duration_s=60.0)
+        d2 = quick_session("D2", rate_mbps=4.0, duration_s=60.0)
+        assert detect_high_bottom_track(h5) is not None
+        assert detect_high_bottom_track(d2) is None
+
+    def test_non_persistent(self):
+        h2 = quick_session("H2", rate_mbps=4.0, duration_s=60.0)
+        h1 = quick_session("H1", rate_mbps=4.0, duration_s=60.0)
+        assert detect_non_persistent(h2) is not None
+        assert detect_non_persistent(h1) is None
+
+    def test_unstable_selection(self):
+        d1 = run_session("D1", ConstantSchedule(kbps(500)),
+                         duration_s=300.0, content_duration_s=500.0)
+        h6 = run_session("H6", ConstantSchedule(kbps(500)),
+                         duration_s=300.0, content_duration_s=500.0)
+        assert detect_unstable_selection(d1) is not None
+        assert detect_unstable_selection(h6) is None
+
+    def test_lossy_sr_detection(self):
+        # Dip, recover (triggers a cascade), then crash mid-cascade so
+        # the refetch level falls below the discarded segments' levels.
+        schedule = StepSchedule(
+            steps=((0.0, mbps(6)), (80.0, kbps(900)), (180.0, mbps(4)),
+                   (195.0, kbps(350)))
+        )
+        h4 = run_session("H4", schedule, duration_s=420.0,
+                         content_duration_s=800.0)
+        finding = detect_lossy_sr(h4)
+        assert finding is not None
+        assert finding.issue is Issue.LOSSY_SEGMENT_REPLACEMENT
+
+    def test_av_desync_detection(self, profiles_300):
+        d1 = run_session("D1", generate_trace(1, 600), duration_s=600.0)
+        finding = detect_av_desync(d1)
+        assert finding is not None
+        assert "video" in finding.evidence
+
+    def test_av_desync_none_for_muxed(self, h1_session):
+        assert detect_av_desync(h1_session) is None
+
+    def test_diagnose_service_aggregates(self):
+        h2 = quick_session("H2", rate_mbps=4.0, duration_s=60.0)
+        issues = {finding.issue for finding in diagnose_service(h2)}
+        assert Issue.HIGH_BOTTOM_TRACK in issues
+        assert Issue.NON_PERSISTENT_TCP in issues
+
+    def test_every_issue_has_a_recommendation(self):
+        assert set(RECOMMENDATIONS) == set(Issue)
+
+    def test_recommendations_for(self):
+        h5 = quick_session("H5", rate_mbps=4.0, duration_s=60.0)
+        findings = diagnose_service(h5)
+        practices = recommendations_for(findings)
+        assert len(practices) == len(findings)
+        for practice in practices:
+            assert practice.recommendation

@@ -1,0 +1,276 @@
+"""Tests for extension features: BBA/BOLA ABR, seek, best-practice fix
+pack, report rendering and the CLI."""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis.report import render_comparison, render_qoe_report
+from repro.cli import main as cli_main
+from repro.core.bestpractices import apply_best_practices
+from repro.core.experiment import ProfileRun, summarize_runs
+from repro.core.session import run_session
+from repro.manifest.types import ClientTrackInfo
+from repro.media.track import StreamType
+from repro.net.schedule import ConstantSchedule
+from repro.net.traces import generate_trace
+from repro.player.abr import AbrContext
+from repro.player.abr_extra import BolaAbr, BufferBasedAbr
+from repro.player.config import SchedulerStrategy
+from repro.player.events import SeekPerformed, StallStarted
+from repro.player.player import PlayerState
+from repro.services import exoplayer_config, get_service
+from repro.services import testcard_dash_spec as make_testcard_spec
+from repro.util import kbps, mbps
+
+from tests.conftest import quick_session
+
+
+def _tracks(declared_kbps=(250, 500, 1000, 2000, 4000)):
+    return [
+        ClientTrackInfo(
+            track_key=f"t{level}", stream_type=StreamType.VIDEO, level=level,
+            declared_bitrate_bps=kbps(rate),
+        )
+        for level, rate in enumerate(declared_kbps)
+    ]
+
+
+def _ctx(buffer_s, estimate_kbps=2000, last=None):
+    return AbrContext(
+        now=0.0, tracks=_tracks(), buffer_s=buffer_s,
+        estimate_bps=kbps(estimate_kbps), last_level=last, next_index=0,
+    )
+
+
+class TestBufferBasedAbr:
+    def test_reservoir_forces_lowest(self):
+        abr = BufferBasedAbr(reservoir_s=10.0, cushion_s=30.0)
+        assert abr.select_level(_ctx(buffer_s=5.0)) == 0
+
+    def test_full_cushion_gives_highest(self):
+        abr = BufferBasedAbr(reservoir_s=10.0, cushion_s=30.0)
+        assert abr.select_level(_ctx(buffer_s=45.0)) == 4
+
+    def test_monotone_in_buffer(self):
+        abr = BufferBasedAbr(reservoir_s=10.0, cushion_s=30.0)
+        levels = [abr.select_level(_ctx(buffer_s=b))
+                  for b in (5, 12, 20, 28, 36, 45)]
+        assert levels == sorted(levels)
+
+    def test_ignores_estimate_in_steady_state(self):
+        abr = BufferBasedAbr(reservoir_s=10.0, cushion_s=30.0)
+        at_low = abr.select_level(_ctx(buffer_s=25.0, estimate_kbps=100))
+        at_high = abr.select_level(_ctx(buffer_s=25.0, estimate_kbps=9000))
+        assert at_low == at_high
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BufferBasedAbr(reservoir_s=0.0)
+
+    def test_plays_end_to_end(self):
+        config = dataclasses.replace(
+            exoplayer_config(name="bba"), abr_factory=lambda: BufferBasedAbr()
+        )
+        result = run_session(make_testcard_spec(4.0), ConstantSchedule(mbps(3)),
+                             duration_s=120.0, content_duration_s=120.0,
+                             player_config=config)
+        assert result.playback_started
+        assert result.true_stall_s == 0.0
+
+
+class TestBolaAbr:
+    def test_low_buffer_conservative(self):
+        abr = BolaAbr(buffer_target_s=25.0, minimum_buffer_s=5.0)
+        assert abr.select_level(_ctx(buffer_s=2.0)) == 0
+
+    def test_higher_buffer_higher_quality(self):
+        abr = BolaAbr(buffer_target_s=25.0, minimum_buffer_s=5.0)
+        low = abr.select_level(_ctx(buffer_s=8.0))
+        high = abr.select_level(_ctx(buffer_s=24.0))
+        assert high >= low
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BolaAbr(buffer_target_s=5.0, minimum_buffer_s=5.0)
+
+    def test_plays_end_to_end(self):
+        config = dataclasses.replace(
+            exoplayer_config(name="bola"), abr_factory=lambda: BolaAbr()
+        )
+        result = run_session(make_testcard_spec(4.0), ConstantSchedule(mbps(3)),
+                             duration_s=120.0, content_duration_s=120.0,
+                             player_config=config)
+        assert result.playback_started
+        assert result.true_stall_s == 0.0
+
+
+class TestSeek:
+    def _session(self, duration=90.0):
+        from repro.core.session import Session
+        from repro.server import OriginServer
+        from repro.services import build_service
+
+        server = OriginServer()
+        built = build_service("H1", server, duration_s=300.0)
+        return Session(built, server, ConstantSchedule(mbps(6)))
+
+    def test_seek_forward_out_of_buffer(self):
+        session = self._session()
+        # run until playing
+        while not session.player.playing:
+            session.network.advance(session.clock.dt)
+            session.player.advance(session.clock.dt)
+            session.clock.tick()
+        session.player.seek(120.0)
+        assert session.player.state is PlayerState.BUFFERING
+        assert session.player.position_s == pytest.approx(120.0)
+        # continue: playback resumes at the new position
+        for _ in range(600):
+            session.network.advance(session.clock.dt)
+            session.player.advance(session.clock.dt)
+            session.clock.tick()
+            if session.player.playing:
+                break
+        assert session.player.playing
+        assert session.player.position_s >= 120.0
+        seeks = session.player.events.of_type(SeekPerformed)
+        assert len(seeks) == 1 and not seeks[0].within_buffer
+        # a seek rebuffer is not a stall
+        assert not session.player.events.of_type(StallStarted)
+
+    def test_seek_within_buffer_keeps_playing(self):
+        session = self._session()
+        for _ in range(600):  # build up some buffer
+            session.network.advance(session.clock.dt)
+            session.player.advance(session.clock.dt)
+            session.clock.tick()
+        player = session.player
+        assert player.playing
+        target = player.position_s + min(player.buffer_s() / 2, 10.0)
+        player.seek(target)
+        assert player.playing
+        assert player.position_s == pytest.approx(target)
+        seeks = player.events.of_type(SeekPerformed)
+        assert seeks and seeks[0].within_buffer
+
+    def test_seek_backward(self):
+        session = self._session()
+        for _ in range(900):
+            session.network.advance(session.clock.dt)
+            session.player.advance(session.clock.dt)
+            session.clock.tick()
+        player = session.player
+        played_to = player.position_s
+        assert played_to > 20.0
+        player.seek(1.0)
+        for _ in range(600):
+            session.network.advance(session.clock.dt)
+            session.player.advance(session.clock.dt)
+            session.clock.tick()
+            if player.playing:
+                break
+        assert player.playing
+        assert player.position_s < played_to
+
+    def test_seek_invalid_states(self):
+        session = self._session()
+        with pytest.raises(RuntimeError):
+            session.player.seek(10.0)  # INIT
+        while not session.player.playing:
+            session.network.advance(session.clock.dt)
+            session.player.advance(session.clock.dt)
+            session.clock.tick()
+        with pytest.raises(ValueError):
+            session.player.seek(-1.0)
+
+    def test_seek_clamps_to_content_end(self):
+        session = self._session()
+        while not session.player.playing:
+            session.network.advance(session.clock.dt)
+            session.player.advance(session.clock.dt)
+            session.clock.tick()
+        session.player.seek(10_000.0)
+        assert session.player.position_s <= 300.0
+
+
+class TestApplyBestPractices:
+    def test_fixes_every_flagged_design(self):
+        for name in ("H2", "H3", "H5", "S2", "D1", "H4"):
+            spec = get_service(name)
+            fixed = apply_best_practices(spec)
+            assert fixed.name == f"{name}-fixed"
+            assert fixed.persistent
+            assert fixed.ladder_kbps[0] <= 500
+            assert fixed.resuming_threshold_s >= 15.0
+            assert (fixed.pausing_threshold_s - fixed.resuming_threshold_s
+                    >= 12.0) or fixed.pausing_threshold_s <= 31.0
+            assert fixed.startup_min_segments >= 2
+            assert not fixed.abr_unstable
+            assert not fixed.performs_sr
+
+    def test_d1_gets_synced_scheduling(self):
+        fixed = apply_best_practices(get_service("D1"))
+        assert fixed.strategy is SchedulerStrategy.SYNCED_AV
+
+    def test_sr_service_gets_improved_sr(self):
+        fixed = apply_best_practices(get_service("H4"))
+        assert fixed.improved_sr
+        config = fixed.player_config()
+        assert config.allow_mid_replacement
+
+    def test_fixed_service_streams(self):
+        fixed = apply_best_practices(get_service("S2"))
+        result = run_session(fixed, generate_trace(3, 300), duration_s=300.0)
+        assert result.playback_started
+
+    def test_fixed_s2_stalls_less(self):
+        trace = generate_trace(2, 600)
+        broken = run_session("S2", trace, duration_s=600.0)
+        fixed = run_session(apply_best_practices(get_service("S2")), trace,
+                            duration_s=600.0)
+        assert fixed.qoe.total_stall_s <= broken.qoe.total_stall_s
+
+
+class TestReports:
+    def test_render_qoe_report(self, h1_session):
+        text = render_qoe_report(h1_session)
+        assert "QoE report: H1" in text
+        assert "startup delay" in text
+        assert "buffer occupancy" in text
+
+    def test_render_comparison(self):
+        result = quick_session("H6", rate_mbps=3.0, duration_s=60.0)
+        runs = [ProfileRun(service_name="H6", profile_id=0, repetition=0,
+                           result=result)]
+        text = render_comparison([summarize_runs(runs)])
+        assert "H6" in text
+        assert "bitrate" in text
+
+
+class TestCli:
+    def test_services_command(self, capsys):
+        assert cli_main(["services"]) == 0
+        out = capsys.readouterr().out
+        assert "H1" in out and "S2" in out
+
+    def test_profiles_command(self, capsys):
+        assert cli_main(["profiles"]) == 0
+        out = capsys.readouterr().out
+        assert "profile 14" in out
+
+    def test_run_command_constant(self, capsys):
+        assert cli_main(["run", "H6", "--bandwidth", "3",
+                         "--duration", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "QoE report: H6" in out
+
+    def test_compare_command(self, capsys):
+        assert cli_main(["compare", "H6", "--profiles", "8",
+                         "--duration", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "H6" in out
+
+    def test_unknown_service_rejected(self):
+        with pytest.raises(SystemExit):
+            cli_main(["run", "NOPE"])

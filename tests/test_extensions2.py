@@ -1,0 +1,258 @@
+"""Tests for catalogues, schedule combinators, QoE model, capture
+serialization, and fault injection."""
+
+import pytest
+
+from repro.analysis.faults import FlakyOriginHandler
+from repro.analysis.qoe import compute_qoe
+from repro.analysis.qoemodel import QoeModelWeights, QoeScore, score_session
+from repro.analysis.serialize import (
+    capture_from_json,
+    capture_to_json,
+    reanalyze,
+)
+from repro.core.session import Session, run_session
+from repro.media.catalog import (
+    build_catalog,
+    check_catalog_consistency,
+)
+from repro.media.track import StreamType
+from repro.net.emulator import (
+    ClampedSchedule,
+    ConcatSchedule,
+    JitteredSchedule,
+    ScaledSchedule,
+)
+from repro.net.http import HttpRequest, HttpStatus
+from repro.net.schedule import ConstantSchedule, StepSchedule
+from repro.server import OriginServer
+from repro.services import build_service, get_service
+from repro.util import mbps
+
+from tests.conftest import quick_session
+
+
+class TestCatalog:
+    @pytest.fixture(scope="class")
+    def catalog(self):
+        return build_catalog(get_service("D2"), title_count=4,
+                             duration_s=120.0)
+
+    def test_titles_distinct_content(self, catalog):
+        sizes = {
+            tuple(seg.size_bytes for seg in title.asset.video_tracks[0].segments)
+            for title in catalog.titles
+        }
+        assert len(sizes) == len(catalog.titles)
+
+    def test_titles_share_settings(self, catalog):
+        consistency = check_catalog_consistency(catalog)
+        assert consistency.consistent
+        assert consistency.ladders_identical
+        assert consistency.segment_durations_identical
+        assert consistency.audio_layout_identical
+        assert consistency.max_avg_bitrate_spread < 0.8
+
+    def test_titles_hostable_together(self, catalog):
+        server = OriginServer()
+        for title in catalog.titles:
+            server.host_dash(title.asset, "https://cdn.test")
+
+    def test_inconsistency_detected(self):
+        import dataclasses
+        spec_a = get_service("D2")
+        spec_b = dataclasses.replace(spec_a, ladder_kbps=(300, 600, 1200))
+        catalog_a = build_catalog(spec_a, title_count=1, duration_s=60.0)
+        catalog_b = build_catalog(spec_b, title_count=1, duration_s=60.0)
+        from repro.media.catalog import Catalog
+        mixed = Catalog(service_name="mixed",
+                        titles=catalog_a.titles + catalog_b.titles)
+        assert not check_catalog_consistency(mixed).ladders_identical
+
+    def test_all_services_catalogs_consistent(self):
+        """The paper's section 3.1 finding holds for every service."""
+        for name in ("H1", "D1", "S2"):
+            catalog = build_catalog(get_service(name), title_count=3,
+                                    duration_s=90.0)
+            assert check_catalog_consistency(catalog).consistent, name
+
+
+class TestScheduleCombinators:
+    def test_scaled(self):
+        schedule = ScaledSchedule(ConstantSchedule(mbps(2)), 0.5)
+        assert schedule.bandwidth_at(10.0) == mbps(1)
+
+    def test_clamped(self):
+        inner = StepSchedule.single_step(mbps(10), mbps(0.1), 50.0)
+        schedule = ClampedSchedule(inner, floor_bps=mbps(0.5),
+                                   ceiling_bps=mbps(5))
+        assert schedule.bandwidth_at(0.0) == mbps(5)
+        assert schedule.bandwidth_at(60.0) == mbps(0.5)
+
+    def test_clamped_validation(self):
+        with pytest.raises(ValueError):
+            ClampedSchedule(ConstantSchedule(1.0), floor_bps=2.0,
+                            ceiling_bps=1.0)
+
+    def test_concat(self):
+        schedule = ConcatSchedule([
+            (ConstantSchedule(mbps(1)), 10.0),
+            (ConstantSchedule(mbps(2)), 10.0),
+            (ConstantSchedule(mbps(3)), 10.0),
+        ])
+        assert schedule.bandwidth_at(5.0) == mbps(1)
+        assert schedule.bandwidth_at(15.0) == mbps(2)
+        assert schedule.bandwidth_at(25.0) == mbps(3)
+        assert schedule.bandwidth_at(500.0) == mbps(3)  # last extends
+
+    def test_concat_offsets_inner_time(self):
+        inner = StepSchedule.single_step(mbps(1), mbps(9), 5.0)
+        schedule = ConcatSchedule([
+            (ConstantSchedule(mbps(2)), 100.0),
+            (inner, 100.0),
+        ])
+        assert schedule.bandwidth_at(102.0) == mbps(1)  # inner t=2
+        assert schedule.bandwidth_at(106.0) == mbps(9)  # inner t=6
+
+    def test_jittered_deterministic_and_bounded(self):
+        schedule = JitteredSchedule(ConstantSchedule(mbps(2)), sigma=0.1,
+                                    seed=3)
+        again = JitteredSchedule(ConstantSchedule(mbps(2)), sigma=0.1, seed=3)
+        values = [schedule.bandwidth_at(float(t)) for t in range(100)]
+        assert values == [again.bandwidth_at(float(t)) for t in range(100)]
+        assert all(mbps(2) * 0.7 <= v <= mbps(2) * 1.3 for v in values)
+        assert len(set(values)) > 10
+
+    def test_combinators_drive_a_session(self):
+        schedule = JitteredSchedule(
+            ClampedSchedule(
+                ScaledSchedule(ConstantSchedule(mbps(4)), 0.8),
+                floor_bps=mbps(0.5), ceiling_bps=mbps(5),
+            ),
+            sigma=0.05, seed=1,
+        )
+        result = run_session("H6", schedule, duration_s=90.0,
+                             content_duration_s=90.0)
+        assert result.playback_started
+
+
+class TestQoeModel:
+    def test_score_components(self, h1_session):
+        score = score_session(h1_session.qoe)
+        assert isinstance(score, QoeScore)
+        assert score.quality > 0
+        assert score.stall_cost == 0.0
+        assert score.total <= score.quality
+
+    def test_stalls_hurt(self, h1_session, s2_session):
+        # same-ish conditions; S2 had a stall in its fixture run or not —
+        # instead compare synthetic reports derived from the same session.
+        base = score_session(h1_session.qoe)
+        harsh = QoeModelWeights(stall_penalty_per_s=1000.0)
+        assert score_session(h1_session.qoe, harsh).total == \
+            pytest.approx(base.total + base.stall_cost
+                          - 1000.0 * h1_session.qoe.total_stall_s
+                          / max(h1_session.qoe.played_s / 60.0, 1e-9))
+
+    def test_concavity(self):
+        """Doubling a low bitrate helps as much as doubling a high one."""
+        from repro.analysis.qoe import DisplayedSegment, QoeReport
+
+        def report(bitrate):
+            return QoeReport(
+                startup_delay_s=1.0, stall_count=0, total_stall_s=0.0,
+                played_s=60.0,
+                displayed=[DisplayedSegment(
+                    index=0, start_s=0.0, duration_s=60.0,
+                    played_duration_s=60.0, level=0,
+                    declared_bitrate_bps=bitrate, height=360,
+                )],
+            )
+
+        low_gain = (score_session(report(400e3)).quality
+                    - score_session(report(200e3)).quality)
+        high_gain = (score_session(report(4000e3)).quality
+                     - score_session(report(2000e3)).quality)
+        assert low_gain == pytest.approx(high_gain)
+
+    def test_never_started_is_heavily_penalised(self):
+        from repro.analysis.qoe import QoeReport
+
+        report = QoeReport(startup_delay_s=None, stall_count=0,
+                           total_stall_s=0.0, played_s=0.0)
+        assert score_session(report).total < 0
+
+
+class TestSerialization:
+    def test_round_trip(self, h1_session):
+        payload = capture_to_json(
+            h1_session.proxy.flows, h1_session.player.ui_samples,
+            metadata={"service": "H1"},
+        )
+        flows, samples, metadata = capture_from_json(payload)
+        assert metadata == {"service": "H1"}
+        assert len(flows) == len(h1_session.proxy.flows)
+        assert len(samples) == len(h1_session.player.ui_samples)
+        original = h1_session.proxy.flows[0]
+        restored = flows[0]
+        assert restored.url == original.url
+        assert restored.text == original.text
+        assert restored.connection_id == original.connection_id
+
+    def test_reanalysis_matches_live_analysis(self, h1_session):
+        payload = capture_to_json(
+            h1_session.proxy.flows, h1_session.player.ui_samples
+        )
+        analyzer, ui = reanalyze(payload)
+        qoe = compute_qoe(analyzer, ui)
+        live = h1_session.qoe
+        assert qoe.average_displayed_bitrate_bps == pytest.approx(
+            live.average_displayed_bitrate_bps
+        )
+        assert qoe.stall_count == live.stall_count
+        assert qoe.startup_delay_s == live.startup_delay_s
+        assert len(analyzer.downloads) == len(h1_session.analyzer.downloads)
+
+    def test_binary_payloads_survive(self, d3_session):
+        payload = capture_to_json(
+            d3_session.proxy.flows, d3_session.player.ui_samples
+        )
+        analyzer, _ = reanalyze(payload)
+        # the sidx (binary) data must still parse into segment maps
+        assert analyzer.media_downloads(StreamType.VIDEO)
+
+    def test_version_check(self):
+        import json
+        with pytest.raises(ValueError, match="format version"):
+            capture_from_json(json.dumps({"format_version": 99}))
+
+
+class TestFaultInjection:
+    def _run_with_error_rate(self, error_rate):
+        server = OriginServer()
+        built = build_service("H6", server, duration_s=120.0)
+        flaky = FlakyOriginHandler(server, error_rate=error_rate, seed=5)
+        session = Session(built, server, ConstantSchedule(mbps(4)))
+        session.proxy.origin = flaky
+        return flaky, session.run(120.0)
+
+    def test_player_survives_flaky_origin(self):
+        flaky, result = self._run_with_error_rate(0.15)
+        assert flaky.injected_errors > 0
+        assert result.playback_started
+        # retried segments eventually arrive; playback progresses
+        assert result.qoe.played_s > 60.0
+
+    def test_errors_degrade_but_do_not_crash(self):
+        flaky, result = self._run_with_error_rate(0.5)
+        assert flaky.injected_errors > 5
+        assert result.playback_started
+
+    def test_zero_rate_injects_nothing(self):
+        flaky, result = self._run_with_error_rate(0.0)
+        assert flaky.injected_errors == 0
+        assert result.true_stall_count == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FlakyOriginHandler(OriginServer(), error_rate=1.5)

@@ -1,0 +1,165 @@
+"""Tests for shared-link multi-client sessions, timeline extraction and
+DASH SegmentTemplate addressing."""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis.timelines import extract_timelines
+from repro.core.multi import MultiSession, run_shared_link
+from repro.core.session import Session, run_session
+from repro.manifest.dash import DashBuilder, SegmentAddressing, parse_mpd
+from repro.manifest.types import Protocol
+from repro.media.track import StreamType
+from repro.net.schedule import ConstantSchedule
+from repro.server import OriginServer
+from repro.services import build_service, get_service
+from repro.util import kbps, mbps
+
+
+def template_spec(base="D4", name="D4T"):
+    return dataclasses.replace(
+        get_service(base), name=name,
+        dash_addressing=SegmentAddressing.TEMPLATE,
+    )
+
+
+class TestSegmentTemplate:
+    @pytest.fixture(scope="class")
+    def mpd_round_trip(self, small_asset):
+        builder = DashBuilder(base_url="https://cdn.test", asset=small_asset,
+                              addressing=SegmentAddressing.TEMPLATE)
+        return builder, parse_mpd(builder.mpd(), builder.mpd_url)
+
+    def test_segments_expanded_without_sizes(self, mpd_round_trip,
+                                             small_asset):
+        builder, manifest = mpd_round_trip
+        assert manifest.protocol is Protocol.DASH
+        for info, track in zip(manifest.video_tracks,
+                               small_asset.video_tracks):
+            assert info.segments is not None
+            assert len(info.segments) == track.segment_count
+            assert all(seg.size_bytes is None for seg in info.segments)
+            assert all(seg.byte_range is None for seg in info.segments)
+
+    def test_urls_match_server_namespace(self, mpd_round_trip, small_asset):
+        builder, manifest = mpd_round_trip
+        track = small_asset.video_tracks[0]
+        info = manifest.video_tracks[0]
+        for seg in info.segments[:5]:
+            assert seg.url == builder.template_segment_url(track, seg.index)
+
+    def test_durations_match(self, mpd_round_trip, small_asset):
+        _, manifest = mpd_round_trip
+        total = sum(seg.duration_s for seg in manifest.video_tracks[0].segments)
+        assert total == pytest.approx(small_asset.duration_s, abs=0.05)
+
+    def test_end_to_end_session(self):
+        result = run_session(template_spec(), ConstantSchedule(mbps(3)),
+                             duration_s=90.0, content_duration_s=90.0)
+        assert result.playback_started
+        assert result.true_stall_count == 0
+        video = result.analyzer.media_downloads(StreamType.VIDEO)
+        audio = result.analyzer.media_downloads(StreamType.AUDIO)
+        assert video and audio
+        # per-segment URLs: sizes learned at download time
+        assert all(d.size_bytes > 0 for d in video)
+
+    def test_use_actual_degrades_gracefully(self):
+        """Template addressing exposes no sizes, so an actual-bitrate
+        ABR must fall back to declared bitrates without crashing."""
+        spec = dataclasses.replace(template_spec(), abr_use_actual=True)
+        result = run_session(spec, ConstantSchedule(mbps(3)),
+                             duration_s=60.0, content_duration_s=60.0)
+        assert result.playback_started
+
+
+class TestMultiSession:
+    def test_identical_clients_share_fairly(self):
+        results = run_shared_link(["H6", "H6"], ConstantSchedule(mbps(6)),
+                                  duration_s=240.0)
+        assert len(results) == 2
+        a, b = results
+        assert a.qoe.average_displayed_bitrate_bps > 0
+        ratio = (a.qoe.average_displayed_bitrate_bps
+                 / b.qoe.average_displayed_bitrate_bps)
+        assert 0.7 < ratio < 1.4
+        assert a.qoe.total_stall_s == 0.0
+        assert b.qoe.total_stall_s == 0.0
+
+    def test_flow_attribution_is_disjoint_and_complete(self):
+        results = run_shared_link(["H6", "D2"], ConstantSchedule(mbps(6)),
+                                  duration_s=120.0)
+        urls_a = {d.url for d in results[0].analyzer.downloads}
+        urls_b = {d.url for d in results[1].analyzer.downloads}
+        assert urls_a and urls_b
+        assert not urls_a & urls_b
+
+    def test_aggressive_beats_conservative_on_shared_link(self):
+        # D3 (aggressive, actual-aware) vs D2 (most conservative) —
+        # the unfairness FESTIVE-style work addresses.
+        results = run_shared_link(["D3", "D2"], ConstantSchedule(mbps(4)),
+                                  duration_s=240.0)
+        d3, d2 = results
+        assert d3.qoe.average_displayed_bitrate_bps > \
+            d2.qoe.average_displayed_bitrate_bps
+
+    def test_requires_clients(self):
+        with pytest.raises(ValueError):
+            MultiSession([], OriginServer(), ConstantSchedule(mbps(1)))
+
+    def test_same_service_twice_distinct_namespaces(self):
+        results = run_shared_link(["H1", "H1"], ConstantSchedule(mbps(5)),
+                                  duration_s=90.0)
+        assert results[0].client_id != results[1].client_id
+        assert results[0].analyzer.downloads
+        assert results[1].analyzer.downloads
+
+
+class TestTimelines:
+    @pytest.fixture(scope="class")
+    def session(self):
+        return run_session("D1", ConstantSchedule(mbps(2)), duration_s=120.0,
+                           content_duration_s=240.0)
+
+    def test_series_lengths(self, session):
+        timelines = extract_timelines(session.analyzer, session.ui, 120.0)
+        assert len(timelines.times) == 121
+        assert len(timelines.play_position_s) == 121
+        assert len(timelines.video_buffer_s) == 121
+        assert timelines.audio_buffer_s is not None  # D1 has separate audio
+
+    def test_monotone_series(self, session):
+        timelines = extract_timelines(session.analyzer, session.ui, 120.0)
+        assert list(timelines.play_position_s) == \
+            sorted(timelines.play_position_s)
+        assert list(timelines.video_downloaded_s) == \
+            sorted(timelines.video_downloaded_s)
+
+    def test_buffer_is_download_minus_play(self, session):
+        timelines = extract_timelines(session.analyzer, session.ui, 120.0)
+        for i in range(len(timelines.times)):
+            expected = max(
+                timelines.video_downloaded_s[i]
+                - timelines.play_position_s[i], 0.0,
+            )
+            assert timelines.video_buffer_s[i] == pytest.approx(expected)
+
+    def test_selected_level_series(self, session):
+        timelines = extract_timelines(session.analyzer, session.ui, 120.0)
+        assert timelines.selected_level[0] is None  # nothing fetched at t=0
+        assert any(level is not None for level in timelines.selected_level)
+
+    def test_csv_export(self, session):
+        timelines = extract_timelines(session.analyzer, session.ui, 60.0)
+        csv_text = timelines.to_csv()
+        lines = csv_text.strip().splitlines()
+        assert lines[0].startswith("t,play_position_s,video_buffer_s")
+        assert "audio_buffer_s" in lines[0]
+        assert len(lines) == 62  # header + 61 samples
+
+    def test_no_audio_columns_for_hls(self, h1_session):
+        timelines = extract_timelines(h1_session.analyzer, h1_session.ui,
+                                      60.0)
+        assert timelines.audio_buffer_s is None
+        assert "audio" not in timelines.to_csv().splitlines()[0]

@@ -1,0 +1,136 @@
+"""Final coverage batch: retry paths, startup level choice, CLI probe."""
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.core.session import Session, run_session
+from repro.net.http import HttpRequest, HttpStatus, ResponsePlan
+from repro.net.schedule import ConstantSchedule, StepSchedule
+from repro.player.player import PlayerState
+from repro.server import OriginServer
+from repro.services import build_service, get_service
+from repro.util import kbps, mbps
+
+
+class _FailFirstManifest:
+    """Origin wrapper that 404s the first N manifest requests."""
+
+    def __init__(self, origin, failures: int):
+        self.origin = origin
+        self.failures_left = failures
+        self.manifest_requests = 0
+
+    def handle(self, request: HttpRequest) -> ResponsePlan:
+        plan = self.origin.handle(request)
+        if plan.text is not None:
+            self.manifest_requests += 1
+            if self.failures_left > 0:
+                self.failures_left -= 1
+                return ResponsePlan.error(HttpStatus.NOT_FOUND)
+        return plan
+
+
+class TestManifestRetry:
+    def test_player_retries_failed_manifest(self):
+        server = OriginServer()
+        built = build_service("H6", server, duration_s=60.0)
+        wrapper = _FailFirstManifest(server, failures=2)
+        session = Session(built, server, ConstantSchedule(mbps(4)))
+        session.proxy.origin = wrapper
+        result = session.run(30.0)
+        assert wrapper.manifest_requests >= 3  # two failures + a success
+        assert result.playback_started
+
+    def test_playlist_failures_recovered(self):
+        server = OriginServer()
+        built = build_service("H6", server, duration_s=60.0)
+
+        class FailSecondText:
+            def __init__(self, origin):
+                self.origin = origin
+                self.text_count = 0
+
+            def handle(self, request):
+                plan = self.origin.handle(request)
+                if plan.text is not None:
+                    self.text_count += 1
+                    if self.text_count == 2:  # the first media playlist
+                        return ResponsePlan.error(HttpStatus.NOT_FOUND)
+                return plan
+
+        session = Session(built, server, ConstantSchedule(mbps(4)))
+        session.proxy.origin = FailSecondText(server)
+        result = session.run(30.0)
+        assert result.playback_started
+
+
+class TestStartupLevelChoice:
+    @pytest.mark.parametrize("target_kbps,expected_declared", [
+        (330, 330), (640, 630), (3000, 3500), (10, 330), (99999, 5500),
+    ])
+    def test_closest_track_chosen(self, target_kbps, expected_declared):
+        import dataclasses
+        spec = dataclasses.replace(get_service("H1"),
+                                   startup_bitrate_kbps=float(target_kbps))
+        result = run_session(spec, ConstantSchedule(mbps(6)),
+                             duration_s=20.0, content_duration_s=60.0)
+        first = result.analyzer.media_downloads()[0]
+        assert first.declared_bitrate_bps == pytest.approx(
+            kbps(expected_declared))
+
+
+class TestSeekWhileRebuffering:
+    def test_seek_out_of_stall(self):
+        # Stall the player, then seek; the stall must close cleanly.
+        schedule = StepSchedule.single_step(mbps(3), kbps(30), 10.0)
+        server = OriginServer()
+        built = build_service("H2", server, duration_s=300.0)
+        session = Session(built, server, schedule)
+        player = session.player
+        for _ in range(1200):
+            session.network.advance(session.clock.dt)
+            player.advance(session.clock.dt)
+            session.clock.tick()
+            if player.state is PlayerState.REBUFFERING:
+                break
+        assert player.state is PlayerState.REBUFFERING
+        player.seek(0.0)
+        assert player.state is PlayerState.BUFFERING
+        # ground-truth stall bookkeeping is closed
+        from repro.player.events import StallEnded, StallStarted
+        starts = player.events.of_type(StallStarted)
+        ends = player.events.of_type(StallEnded)
+        assert len(starts) == len(ends)
+
+
+class TestCliProbe:
+    def test_probe_command(self, capsys):
+        assert cli_main(["probe", "H6"]) == 0
+        out = capsys.readouterr().out
+        assert "startup buffer" in out
+        assert "download ctrl" in out
+        assert "adaptation" in out
+
+    def test_run_with_profile(self, capsys):
+        assert cli_main(["run", "H6", "--profile", "9",
+                         "--duration", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "profile 9" in out
+
+    def test_run_rejects_bad_profile(self):
+        with pytest.raises(SystemExit):
+            cli_main(["run", "H6", "--profile", "99", "--duration", "30"])
+
+
+class TestEventLogQueries:
+    def test_event_log_aggregations(self, s2_session):
+        log = s2_session.events
+        assert log.stall_count() == len(
+            log.of_type(__import__("repro.player.events",
+                                   fromlist=["StallStarted"]).StallStarted))
+        assert log.discarded_bytes() >= 0
+
+    def test_session_duration_consistency(self, h1_session):
+        # the session result's duration covers all UI samples
+        last_sample = h1_session.player.ui_samples[-1]
+        assert last_sample.at <= h1_session.duration_s + 1.0

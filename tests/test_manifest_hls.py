@@ -1,0 +1,127 @@
+"""HLS playlist generation and parsing round-trips."""
+
+import pytest
+
+from repro.manifest import (
+    ManifestError,
+    Protocol,
+    parse_any_manifest,
+    parse_master_playlist,
+    parse_media_playlist,
+)
+from repro.manifest.hls import HlsBuilder, _parse_attribute_list
+
+
+@pytest.fixture(scope="module")
+def builder(small_asset_module):
+    return HlsBuilder(base_url="https://cdn.test", asset=small_asset_module)
+
+
+@pytest.fixture(scope="session")
+def small_asset_module(small_asset):
+    return small_asset
+
+
+class TestAttributeList:
+    def test_simple(self):
+        assert _parse_attribute_list("A=1,B=2") == {"A": "1", "B": "2"}
+
+    def test_quoted_comma(self):
+        attrs = _parse_attribute_list('CODECS="avc1,mp4a",BANDWIDTH=5')
+        assert attrs["CODECS"] == "avc1,mp4a"
+        assert attrs["BANDWIDTH"] == "5"
+
+
+class TestRoundTrip:
+    def test_master_round_trip(self, builder, small_asset_module):
+        manifest = parse_master_playlist(builder.master_playlist(),
+                                         builder.master_url)
+        assert manifest.protocol is Protocol.HLS
+        assert len(manifest.video_tracks) == len(small_asset_module.video_tracks)
+        declared = [t.declared_bitrate_bps for t in manifest.video_tracks]
+        expected = [t.declared_bitrate_bps for t in small_asset_module.video_tracks]
+        assert declared == pytest.approx(expected, abs=1.0)
+
+    def test_master_carries_average_bandwidth(self, builder):
+        manifest = parse_master_playlist(builder.master_playlist(),
+                                         builder.master_url)
+        for track in manifest.video_tracks:
+            assert track.average_bandwidth_bps is not None
+            assert track.average_bandwidth_bps < track.declared_bitrate_bps
+
+    def test_master_levels_ascending(self, builder):
+        manifest = parse_master_playlist(builder.master_playlist(),
+                                         builder.master_url)
+        assert [t.level for t in manifest.video_tracks] == [0, 1, 2]
+
+    def test_master_resolution(self, builder):
+        manifest = parse_master_playlist(builder.master_playlist(),
+                                         builder.master_url)
+        assert manifest.video_tracks[-1].height == 720
+
+    def test_media_playlist_round_trip(self, builder, small_asset_module):
+        track = small_asset_module.video_tracks[0]
+        segments = parse_media_playlist(
+            builder.media_playlist(track), builder.media_playlist_url(track)
+        )
+        assert len(segments) == track.segment_count
+        assert segments[0].url == builder.segment_url(track, 0)
+        total = sum(seg.duration_s for seg in segments)
+        assert total == pytest.approx(track.duration_s, abs=0.01)
+
+    def test_media_playlist_segments_have_no_sizes(self, builder,
+                                                   small_asset_module):
+        track = small_asset_module.video_tracks[0]
+        segments = parse_media_playlist(
+            builder.media_playlist(track), builder.media_playlist_url(track)
+        )
+        assert all(seg.size_bytes is None for seg in segments)
+
+    def test_parse_any_detects_hls(self, builder):
+        manifest = parse_any_manifest(builder.master_playlist(),
+                                      builder.master_url)
+        assert manifest.protocol is Protocol.HLS
+
+
+class TestErrors:
+    def test_not_a_playlist(self):
+        with pytest.raises(ManifestError):
+            parse_master_playlist("hello", "u")
+
+    def test_variant_without_stream_inf(self):
+        text = "#EXTM3U\nvariant.m3u8\n"
+        with pytest.raises(ManifestError, match="without #EXT-X-STREAM-INF"):
+            parse_master_playlist(text, "u")
+
+    def test_missing_bandwidth(self):
+        text = "#EXTM3U\n#EXT-X-STREAM-INF:RESOLUTION=1x1\nv.m3u8\n"
+        with pytest.raises(ManifestError, match="BANDWIDTH"):
+            parse_master_playlist(text, "u")
+
+    def test_empty_master(self):
+        with pytest.raises(ManifestError, match="no variants"):
+            parse_master_playlist("#EXTM3U\n", "u")
+
+    def test_media_playlist_segment_without_extinf(self):
+        text = "#EXTM3U\nseg0.ts\n"
+        with pytest.raises(ManifestError, match="without #EXTINF"):
+            parse_media_playlist(text, "u")
+
+    def test_empty_media_playlist(self):
+        with pytest.raises(ManifestError, match="no segments"):
+            parse_media_playlist("#EXTM3U\n#EXT-X-ENDLIST\n", "u")
+
+    def test_parse_any_rejects_garbage(self):
+        with pytest.raises(ManifestError):
+            parse_any_manifest("random text", "u")
+
+
+class TestUrlNamespace:
+    def test_urls_are_distinct(self, builder, small_asset_module):
+        urls = {builder.master_url}
+        for track in small_asset_module.video_tracks:
+            urls.add(builder.media_playlist_url(track))
+            for segment in track.segments:
+                urls.add(builder.segment_url(track, segment.index))
+        expected = 1 + 3 + 3 * 30
+        assert len(urls) == expected

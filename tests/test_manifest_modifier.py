@@ -1,0 +1,108 @@
+"""Manifest cipher and the Figure 12 MPD variants."""
+
+import pytest
+
+from repro.manifest import (
+    ManifestCipher,
+    ManifestError,
+    drop_lowest_track_variant,
+    parse_any_manifest,
+    parse_mpd,
+    shift_tracks_variant,
+)
+from repro.manifest.dash import DashBuilder, SegmentAddressing
+
+
+@pytest.fixture(scope="module")
+def mpd_text(small_asset):
+    return DashBuilder(base_url="https://cdn.test", asset=small_asset,
+                       addressing=SegmentAddressing.INLINE).mpd()
+
+
+class TestCipher:
+    def test_round_trip(self):
+        cipher = ManifestCipher()
+        text = "#EXTM3U\nsome manifest"
+        assert cipher.decrypt(cipher.encrypt(text)) == text
+
+    def test_ciphertext_is_not_parseable(self, mpd_text):
+        ciphertext = ManifestCipher().encrypt(mpd_text)
+        with pytest.raises(ManifestError):
+            parse_any_manifest(ciphertext, "u")
+
+    def test_is_encrypted(self, mpd_text):
+        cipher = ManifestCipher()
+        assert cipher.is_encrypted(cipher.encrypt(mpd_text))
+        assert not cipher.is_encrypted(mpd_text)
+
+    def test_decrypt_rejects_plaintext(self):
+        with pytest.raises(ManifestError):
+            ManifestCipher().decrypt("plain")
+
+    def test_wrong_key_garbles(self, mpd_text):
+        ciphertext = ManifestCipher(key=b"a").encrypt(mpd_text)
+        wrong = ManifestCipher(key=b"b")
+        try:
+            garbled = wrong.decrypt(ciphertext)
+        except (ManifestError, UnicodeDecodeError):
+            return
+        assert garbled != mpd_text
+
+
+class TestVariants:
+    def test_shift_keeps_declared_but_swaps_media(self, mpd_text, small_asset):
+        shifted = parse_mpd(shift_tracks_variant(mpd_text), "u")
+        original = parse_mpd(mpd_text, "u")
+        assert len(shifted.video_tracks) == len(original.video_tracks) - 1
+        for i, track in enumerate(shifted.video_tracks):
+            original_same_declared = original.video_tracks[i + 1]
+            assert track.declared_bitrate_bps == \
+                original_same_declared.declared_bitrate_bps
+            # but the media (sizes) of the next lower original track
+            lower = original.video_tracks[i]
+            assert [s.size_bytes for s in track.segments] == \
+                [s.size_bytes for s in lower.segments]
+
+    def test_drop_lowest(self, mpd_text):
+        dropped = parse_mpd(drop_lowest_track_variant(mpd_text), "u")
+        original = parse_mpd(mpd_text, "u")
+        assert len(dropped.video_tracks) == len(original.video_tracks) - 1
+        assert dropped.video_tracks[0].declared_bitrate_bps == \
+            original.video_tracks[1].declared_bitrate_bps
+        assert [s.size_bytes for s in dropped.video_tracks[0].segments] == \
+            [s.size_bytes for s in original.video_tracks[1].segments]
+
+    def test_variants_align_for_figure12(self, mpd_text):
+        """Track i: same declared in both variants, variant-1 media one
+        quality level lower — the experiment's precondition."""
+        shifted = parse_mpd(shift_tracks_variant(mpd_text), "u")
+        dropped = parse_mpd(drop_lowest_track_variant(mpd_text), "u")
+        assert len(shifted.video_tracks) == len(dropped.video_tracks)
+        for s_track, d_track in zip(shifted.video_tracks, dropped.video_tracks):
+            assert s_track.declared_bitrate_bps == d_track.declared_bitrate_bps
+            s_bytes = sum(seg.size_bytes for seg in s_track.segments)
+            d_bytes = sum(seg.size_bytes for seg in d_track.segments)
+            assert s_bytes < d_bytes
+
+    def test_audio_untouched(self, mpd_text):
+        shifted = parse_mpd(shift_tracks_variant(mpd_text), "u")
+        original = parse_mpd(mpd_text, "u")
+        assert len(shifted.audio_tracks) == len(original.audio_tracks)
+
+    def test_shift_requires_two_tracks(self, small_asset):
+        single = (
+            '<MPD xmlns="urn:mpeg:dash:schema:mpd:2011"><Period>'
+            '<AdaptationSet contentType="video">'
+            '<Representation id="v0" bandwidth="100"><BaseURL>u</BaseURL>'
+            "</Representation></AdaptationSet></Period></MPD>"
+        )
+        with pytest.raises(ManifestError, match="at least two"):
+            shift_tracks_variant(single)
+
+    def test_malformed_input(self):
+        with pytest.raises(ManifestError):
+            drop_lowest_track_variant("<broken")
+
+    def test_result_still_detected_as_mpd(self, mpd_text):
+        out = shift_tracks_variant(mpd_text)
+        assert parse_any_manifest(out, "u").protocol.value == "dash"

@@ -1,0 +1,80 @@
+"""SmoothStreaming manifest round-trips."""
+
+import pytest
+
+from repro.manifest import (
+    ManifestError,
+    Protocol,
+    parse_any_manifest,
+    parse_smooth_manifest,
+)
+from repro.manifest.smooth import TIMESCALE, SmoothBuilder
+from repro.media.track import StreamType
+
+
+@pytest.fixture(scope="module")
+def builder(small_asset):
+    return SmoothBuilder(base_url="https://cdn.test", asset=small_asset)
+
+
+class TestRoundTrip:
+    def test_protocol_and_counts(self, builder, small_asset):
+        manifest = parse_smooth_manifest(builder.manifest(),
+                                         builder.manifest_url)
+        assert manifest.protocol is Protocol.SMOOTH
+        assert len(manifest.video_tracks) == len(small_asset.video_tracks)
+        assert len(manifest.audio_tracks) == 1
+
+    def test_segments_known_immediately_without_sizes(self, builder):
+        manifest = parse_smooth_manifest(builder.manifest(),
+                                         builder.manifest_url)
+        for track in manifest.video_tracks + manifest.audio_tracks:
+            assert track.segments is not None
+            assert all(seg.size_bytes is None for seg in track.segments)
+
+    def test_fragment_urls_match_builder(self, builder, small_asset):
+        manifest = parse_smooth_manifest(builder.manifest(),
+                                         builder.manifest_url)
+        for info, track in zip(manifest.video_tracks,
+                               small_asset.video_tracks):
+            for seg in info.segments[:5]:
+                assert seg.url == builder.fragment_url(track, seg.index)
+
+    def test_durations_round_trip(self, builder, small_asset):
+        manifest = parse_smooth_manifest(builder.manifest(),
+                                         builder.manifest_url)
+        total = sum(seg.duration_s for seg in manifest.video_tracks[0].segments)
+        assert total == pytest.approx(small_asset.duration_s, abs=0.01)
+
+    def test_parse_any_detects_smooth(self, builder):
+        manifest = parse_any_manifest(builder.manifest(), builder.manifest_url)
+        assert manifest.protocol is Protocol.SMOOTH
+
+    def test_audio_track_type(self, builder):
+        manifest = parse_smooth_manifest(builder.manifest(),
+                                         builder.manifest_url)
+        assert manifest.audio_tracks[0].stream_type is StreamType.AUDIO
+
+    def test_timescale_is_100ns(self):
+        assert TIMESCALE == 10_000_000
+
+
+class TestErrors:
+    def test_not_xml(self):
+        with pytest.raises(ManifestError):
+            parse_smooth_manifest("nope", "u")
+
+    def test_wrong_root(self):
+        with pytest.raises(ManifestError, match="not a SmoothStreaming"):
+            parse_smooth_manifest("<MPD/>", "u")
+
+    def test_stream_without_chunks(self):
+        text = (
+            '<SmoothStreamingMedia TimeScale="10000000" Duration="1">'
+            '<StreamIndex Type="video" Url="QualityLevels({bitrate})/'
+            'Fragments(video={start time})">'
+            '<QualityLevel Index="0" Bitrate="500000"/>'
+            "</StreamIndex></SmoothStreamingMedia>"
+        )
+        with pytest.raises(ManifestError, match="no chunks"):
+            parse_smooth_manifest(text, "u")

@@ -1,0 +1,302 @@
+"""Unit tests for the network substrate: schedules, TCP, link, HTTP."""
+
+import pytest
+
+from repro.net import (
+    BottleneckLink,
+    Clock,
+    ConstantSchedule,
+    HttpMethod,
+    HttpRequest,
+    HttpStatus,
+    Network,
+    ResponsePlan,
+    StepSchedule,
+    TcpConnection,
+    TcpConnectionState,
+    TraceSchedule,
+    Transfer,
+    water_fill,
+)
+from repro.net.tcp import INITIAL_CWND_BYTES
+from repro.util import mbps
+
+
+class TestSchedules:
+    def test_constant(self):
+        schedule = ConstantSchedule(mbps(3))
+        assert schedule.bandwidth_at(0) == mbps(3)
+        assert schedule.bandwidth_at(1e6) == mbps(3)
+
+    def test_constant_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ConstantSchedule(0)
+
+    def test_step(self):
+        schedule = StepSchedule.single_step(mbps(5), mbps(1), 100.0)
+        assert schedule.bandwidth_at(99.9) == mbps(5)
+        assert schedule.bandwidth_at(100.0) == mbps(1)
+        assert schedule.bandwidth_at(500.0) == mbps(1)
+
+    def test_step_requires_sorted(self):
+        with pytest.raises(ValueError):
+            StepSchedule(steps=((10.0, 1.0), (0.0, 2.0)))
+
+    def test_step_requires_zero_start(self):
+        with pytest.raises(ValueError):
+            StepSchedule(steps=((1.0, 1.0),))
+
+    def test_trace_repeats(self):
+        schedule = TraceSchedule.from_samples([1.0, 2.0, 3.0])
+        assert schedule.bandwidth_at(0.5) == 1.0
+        assert schedule.bandwidth_at(2.9) == 3.0
+        assert schedule.bandwidth_at(3.1) == 1.0  # wraps
+        assert schedule.average_bps == 2.0
+
+    def test_trace_rejects_empty(self):
+        with pytest.raises(ValueError):
+            TraceSchedule(samples_bps=())
+
+
+class TestWaterFill:
+    def test_simple_split(self):
+        assert water_fill(10.0, [10.0, 10.0]) == [5.0, 5.0]
+
+    def test_capped_demand_releases_share(self):
+        allocations = water_fill(10.0, [2.0, 10.0])
+        assert allocations[0] == pytest.approx(2.0)
+        assert allocations[1] == pytest.approx(8.0)
+
+    def test_total_never_exceeds_capacity(self):
+        allocations = water_fill(7.0, [3.0, 3.0, 3.0, 3.0])
+        assert sum(allocations) <= 7.0 + 1e-9
+
+    def test_never_exceeds_demand(self):
+        allocations = water_fill(100.0, [1.0, 2.0])
+        assert allocations == [1.0, 2.0]
+
+    def test_zero_demands_ignored(self):
+        assert water_fill(10.0, [0.0, 10.0]) == [0.0, 10.0]
+
+    def test_empty(self):
+        assert water_fill(10.0, []) == []
+
+
+class TestTcpConnection:
+    def test_handshake_costs_one_rtt(self):
+        conn = TcpConnection("c", rtt_s=0.1)
+        transfer = Transfer(total_bytes=1000)
+        conn.start_transfer(transfer, now=0.0)
+        assert conn.state is TcpConnectionState.CONNECTING
+        assert conn.rate_cap_bps() == 0.0
+        conn.advance_control(0.1)
+        assert conn.state is TcpConnectionState.ESTABLISHED
+        # request latency still pending -> no bytes yet
+        assert conn.rate_cap_bps() == 0.0
+        conn.advance_control(0.1)
+        assert conn.rate_cap_bps() > 0.0
+
+    def test_slow_start_doubles_per_rtt(self):
+        conn = TcpConnection("c", rtt_s=0.1)
+        conn.start_transfer(Transfer(total_bytes=10_000_000), now=0.0)
+        conn.advance_control(0.1)
+        conn.advance_control(0.1)
+        initial_cap = conn.rate_cap_bps()
+        assert initial_cap == pytest.approx(INITIAL_CWND_BYTES * 8 / 0.1)
+        conn.deliver(INITIAL_CWND_BYTES, now=0.3)
+        assert conn.rate_cap_bps() == pytest.approx(2 * initial_cap)
+
+    def test_cwnd_capped(self):
+        conn = TcpConnection("c", rtt_s=0.05, max_cwnd_bytes=100_000)
+        conn.start_transfer(Transfer(total_bytes=10_000_000), now=0.0)
+        conn.advance_control(0.05)
+        conn.advance_control(0.05)
+        conn.deliver(5_000_000, now=1.0)
+        assert conn.cwnd_bytes == 100_000
+
+    def test_transfer_completion(self):
+        conn = TcpConnection("c", rtt_s=0.05)
+        done = []
+        transfer = Transfer(total_bytes=100, on_complete=done.append)
+        conn.start_transfer(transfer, now=0.0)
+        conn.advance_control(0.05)
+        conn.advance_control(0.05)
+        result = conn.deliver(100, now=0.2)
+        assert result is transfer
+        assert transfer.complete
+        assert transfer.completed_at == 0.2
+        assert conn.transfer is None
+
+    def test_idle_restart_resets_cwnd(self):
+        conn = TcpConnection("c", rtt_s=0.05, idle_restart_s=1.0)
+        conn.start_transfer(Transfer(total_bytes=100), now=0.0)
+        conn.advance_control(0.05)
+        conn.advance_control(0.05)
+        conn.deliver(100, now=0.2)
+        grown = conn.cwnd_bytes
+        assert grown > INITIAL_CWND_BYTES
+        conn.start_transfer(Transfer(total_bytes=100), now=5.0)  # long idle
+        assert conn.cwnd_bytes == INITIAL_CWND_BYTES
+
+    def test_quick_reuse_keeps_cwnd(self):
+        conn = TcpConnection("c", rtt_s=0.05, idle_restart_s=1.0)
+        conn.start_transfer(Transfer(total_bytes=100_000), now=0.0)
+        conn.advance_control(0.05)
+        conn.advance_control(0.05)
+        conn.deliver(100_000, now=0.2)
+        grown = conn.cwnd_bytes
+        conn.start_transfer(Transfer(total_bytes=100), now=0.5)
+        assert conn.cwnd_bytes == grown
+
+    def test_nonpersistent_reconnect_counts(self):
+        conn = TcpConnection("c", rtt_s=0.05)
+        conn.start_transfer(Transfer(total_bytes=10), now=0.0)
+        conn.advance_control(0.05)
+        conn.advance_control(0.05)
+        conn.deliver(10, now=0.2)
+        conn.close()
+        conn.start_transfer(Transfer(total_bytes=10), now=0.3)
+        assert conn.connects == 2
+        assert conn.state is TcpConnectionState.CONNECTING
+
+    def test_cannot_double_book(self):
+        conn = TcpConnection("c")
+        conn.start_transfer(Transfer(total_bytes=10), now=0.0)
+        with pytest.raises(RuntimeError):
+            conn.start_transfer(Transfer(total_bytes=10), now=0.0)
+
+    def test_close_with_transfer_fails(self):
+        conn = TcpConnection("c")
+        conn.start_transfer(Transfer(total_bytes=10), now=0.0)
+        with pytest.raises(RuntimeError):
+            conn.close()
+
+
+class TestBottleneckLink:
+    def _ready_connection(self, name="c", rtt=0.05, size=10_000_000):
+        conn = TcpConnection(name, rtt_s=rtt)
+        conn.start_transfer(Transfer(total_bytes=size), now=0.0)
+        conn.advance_control(rtt)
+        conn.advance_control(rtt)
+        return conn
+
+    def test_byte_conservation(self):
+        link = BottleneckLink()
+        link.set_capacity(mbps(8))
+        conns = [self._ready_connection(f"c{i}") for i in range(3)]
+        for _ in range(100):
+            link.advance(conns, dt=0.1, now=0.0)
+        capacity_bytes = mbps(8) / 8 * 10.0
+        assert link.total_bytes_delivered <= capacity_bytes + 1
+        total = sum(c.total_bytes_received for c in conns)
+        assert total == pytest.approx(link.total_bytes_delivered)
+
+    def test_fair_share(self):
+        link = BottleneckLink()
+        link.set_capacity(mbps(10))
+        a = self._ready_connection("a")
+        b = self._ready_connection("b")
+        # Grow both windows well past the share first.
+        for _ in range(200):
+            link.advance([a, b], dt=0.1, now=0.0)
+        a_before, b_before = a.total_bytes_received, b.total_bytes_received
+        for _ in range(10):
+            link.advance([a, b], dt=0.1, now=0.0)
+        a_delta = a.total_bytes_received - a_before
+        b_delta = b.total_bytes_received - b_before
+        assert a_delta == pytest.approx(b_delta, rel=0.01)
+
+    def test_completion_reported(self):
+        link = BottleneckLink()
+        link.set_capacity(mbps(10))
+        conn = self._ready_connection(size=1000)
+        completed = link.advance([conn], dt=0.1, now=1.0)
+        assert len(completed) == 1
+        assert completed[0].complete
+
+
+class _EchoServer:
+    def handle(self, request):
+        if request.url.endswith("missing"):
+            return ResponsePlan.error(HttpStatus.NOT_FOUND)
+        return ResponsePlan.ok_opaque(50_000)
+
+
+class TestNetwork:
+    def _network(self):
+        clock = Clock(dt=0.1)
+        return clock, Network(clock, _EchoServer(), ConstantSchedule(mbps(4)))
+
+    def test_request_response_cycle(self):
+        clock, network = self._network()
+        conn = network.new_connection()
+        responses = []
+        network.request(conn, HttpRequest(url="http://x/a"), responses.append)
+        for _ in range(100):
+            network.advance(clock.dt)
+            clock.tick()
+            if responses:
+                break
+        assert responses
+        response = responses[0]
+        assert response.is_success
+        assert response.size_bytes == 50_000
+        assert response.completed_at > response.started_at
+        assert response.first_byte_at > response.started_at
+
+    def test_error_response_delivered(self):
+        clock, network = self._network()
+        conn = network.new_connection()
+        responses = []
+        network.request(conn, HttpRequest(url="http://x/missing"),
+                        responses.append)
+        for _ in range(50):
+            network.advance(clock.dt)
+            clock.tick()
+        assert responses and not responses[0].is_success
+
+    def test_throughput_close_to_link(self):
+        clock, network = self._network()
+        conn = network.new_connection()
+        responses = []
+        network.request(
+            conn, HttpRequest(url="http://x/big"), responses.append
+        )
+        while not responses:
+            network.advance(clock.dt)
+            clock.tick()
+        # 50 KB at 4 Mbps ~ 0.1s + 2 RTT; goodput should be within 2x.
+        assert responses[0].throughput_bps > mbps(1)
+
+    def test_rejects_unknown_connection(self):
+        clock, network = self._network()
+        foreign = TcpConnection("foreign")
+        with pytest.raises(RuntimeError):
+            network.request(foreign, HttpRequest(url="u"), lambda r: None)
+
+    def test_drop_connection(self):
+        clock, network = self._network()
+        conn = network.new_connection()
+        network.drop_connection(conn)
+        assert conn not in network.connections
+
+
+class TestHttpTypes:
+    def test_bad_range_rejected(self):
+        with pytest.raises(ValueError):
+            HttpRequest(url="u", byte_range=(10, 5))
+
+    def test_range_length(self):
+        assert HttpRequest(url="u", byte_range=(0, 99)).range_length == 100
+        assert HttpRequest(url="u").range_length is None
+
+    def test_plan_helpers(self):
+        plan = ResponsePlan.ok_text("hello")
+        assert plan.is_success and plan.size_bytes == 5
+        plan = ResponsePlan.error(HttpStatus.FORBIDDEN)
+        assert not plan.is_success
+        plan = ResponsePlan.ok_data(b"abc", partial=True)
+        assert plan.status is HttpStatus.PARTIAL_CONTENT
+
+    def test_head_method_exists(self):
+        assert HttpMethod.HEAD.value == "HEAD"

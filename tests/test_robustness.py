@@ -1,0 +1,243 @@
+"""Edge cases and failure paths across the stack."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.proxy import FlowRecord, Proxy, SegmentLimitRejector
+from repro.analysis.traffic import TrafficAnalyzer
+from repro.analysis.ui import UiMonitor
+from repro.core.session import Session, run_session
+from repro.media.track import StreamType
+from repro.net.http import HttpRequest, HttpStatus
+from repro.net.schedule import ConstantSchedule, StepSchedule
+from repro.player.events import ProgressSample
+from repro.player.player import PlayerState
+from repro.server import OriginServer
+from repro.services import build_service, get_service
+from repro.util import kbps, mbps
+
+
+class TestZeroAndTinyBandwidth:
+    def test_tiny_bandwidth_never_starts(self):
+        result = run_session("H1", ConstantSchedule(kbps(5)),
+                             duration_s=60.0, content_duration_s=120.0)
+        assert not result.playback_started
+        assert result.player_state in (PlayerState.INIT,
+                                       PlayerState.BUFFERING)
+
+    def test_bandwidth_appears_later(self):
+        schedule = StepSchedule(steps=((0.0, kbps(5)), (30.0, mbps(4))))
+        result = run_session("H1", schedule, duration_s=120.0,
+                             content_duration_s=120.0)
+        assert result.playback_started
+        assert result.true_startup_delay_s > 30.0
+
+
+class TestProxyRejection:
+    def test_rejector_blocks_only_past_limit(self, h1_session):
+        # Build a rejector over the already-analyzed session and check
+        # classification against known downloads.
+        analyzer = h1_session.analyzer
+        rejector = SegmentLimitRejector(analyzer, max_video_segments=3)
+        downloads = analyzer.media_downloads(StreamType.VIDEO)
+        below = next(d for d in downloads if d.index < 3)
+        above = next(d for d in downloads if d.index >= 3)
+        assert not rejector.should_reject(
+            HttpRequest(url=below.url)
+        )
+        assert rejector.should_reject(
+            HttpRequest(url=above.url)
+        )
+
+    def test_manifests_always_pass(self, h1_session):
+        rejector = SegmentLimitRejector(h1_session.analyzer,
+                                        max_video_segments=0)
+        manifest_flow = next(f for f in h1_session.proxy.flows if f.text)
+        assert not rejector.should_reject(HttpRequest(url=manifest_flow.url))
+
+    def test_rejector_validation(self, h1_session):
+        with pytest.raises(ValueError):
+            SegmentLimitRejector(h1_session.analyzer, max_video_segments=-1)
+
+
+class TestProxyRewriting:
+    def test_rewriter_applies_to_text_only(self, small_asset):
+        server = OriginServer()
+        hosting = server.host_hls(small_asset, "https://cdn.test")
+        proxy = Proxy(server)
+        proxy.manifest_rewriter = lambda text, url: text.upper()
+        plan = proxy.handle(HttpRequest(url=hosting.manifest_url))
+        assert plan.text.startswith("#EXTM3U")  # already upper-ish
+        track = small_asset.video_tracks[0]
+        media_plan = proxy.handle(
+            HttpRequest(url=hosting.builder.segment_url(track, 0))
+        )
+        assert media_plan.text is None  # untouched
+
+    def test_identity_rewrite_keeps_plan(self, small_asset):
+        server = OriginServer()
+        hosting = server.host_hls(small_asset, "https://cdn.test")
+        proxy = Proxy(server)
+        proxy.manifest_rewriter = lambda text, url: text
+        plan = proxy.handle(HttpRequest(url=hosting.manifest_url))
+        assert plan.is_success
+
+
+class TestAnalyzerRobustness:
+    def test_ignores_failed_flows(self):
+        analyzer = TrafficAnalyzer()
+        analyzer.observe_flow(FlowRecord(
+            url="u", byte_range=None, connection_id="c:1", started_at=0.0,
+            status=HttpStatus.NOT_FOUND, planned_bytes=10, completed_at=1.0,
+            size_bytes=10,
+        ))
+        assert not analyzer.downloads
+
+    def test_unattributed_media_counted(self):
+        analyzer = TrafficAnalyzer()
+        analyzer.observe_flow(FlowRecord(
+            url="https://mystery/seg", byte_range=None, connection_id="c:1",
+            started_at=0.0, status=HttpStatus.OK, planned_bytes=5000,
+            completed_at=1.0, size_bytes=5000,
+        ))
+        assert analyzer.unattributed_media_bytes == 5000
+        assert not analyzer.downloads
+
+    def test_garbage_text_ignored(self):
+        analyzer = TrafficAnalyzer()
+        analyzer.observe_flow(FlowRecord(
+            url="u", byte_range=None, connection_id="c:1", started_at=0.0,
+            status=HttpStatus.OK, planned_bytes=3, completed_at=1.0,
+            size_bytes=3, text="???",
+        ))
+        assert analyzer.manifest is None
+
+    def test_non_sidx_data_treated_as_media(self):
+        analyzer = TrafficAnalyzer()
+        analyzer.observe_flow(FlowRecord(
+            url="u", byte_range=(0, 9), connection_id="c:1", started_at=0.0,
+            status=HttpStatus.PARTIAL_CONTENT, planned_bytes=10,
+            completed_at=1.0, size_bytes=10, data=b"0123456789",
+        ))
+        assert analyzer.unattributed_media_bytes == 10
+
+    def test_duplicate_manifest_observation_is_idempotent(self, h1_session):
+        analyzer = TrafficAnalyzer()
+        analyzer.observe_flows(h1_session.proxy.flows)
+        count = len(analyzer.downloads)
+        manifest_flows = [f for f in h1_session.proxy.flows if f.text]
+        for flow in manifest_flows:
+            analyzer.observe_flow(flow)
+        assert len(analyzer.downloads) == count
+        assert len(analyzer.tracks(StreamType.VIDEO)) == 6
+
+
+class TestUiMonitorProperties:
+    @given(
+        stall_starts=st.lists(
+            st.tuples(st.integers(min_value=10, max_value=200),
+                      st.integers(min_value=3, max_value=20)),
+            min_size=0, max_size=4,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_reconstructs_synthetic_stalls(self, stall_starts):
+        """Build a synthetic playback trace with known stalls; the monitor
+        must recover total stall time to within quantisation error."""
+        # normalise: sort, drop overlapping stalls
+        stalls = []
+        cursor = 5
+        for start, duration in sorted(stall_starts):
+            if start >= cursor:
+                stalls.append((start, duration))
+                cursor = start + duration + 5
+        samples = []
+        position = 0.0
+        stall_iter = iter(stalls)
+        current = next(stall_iter, None)
+        remaining = 0
+        for t in range(0, 300):
+            samples.append(ProgressSample(at=float(t), position_s=position))
+            if current and t >= current[0] and remaining == 0 and \
+                    t < current[0] + current[1]:
+                remaining = current[1]
+            if remaining > 0:
+                remaining -= 1
+                if remaining == 0:
+                    current = next(stall_iter, None)
+            else:
+                position += 1.0
+        monitor = UiMonitor(samples)
+        expected = sum(duration for _, duration in stalls)
+        measured = monitor.total_stall_s()
+        assert abs(measured - expected) <= 2.0 * (len(stalls) + 1)
+
+    def test_empty_samples(self):
+        monitor = UiMonitor([])
+        assert monitor.startup_delay_s() is None
+        assert monitor.stall_intervals() == []
+        assert monitor.final_position_s() == 0.0
+
+
+class TestSessionEdgeCases:
+    def test_one_segment_content(self):
+        result = run_session("H1", ConstantSchedule(mbps(4)),
+                             duration_s=30.0, content_duration_s=4.0)
+        assert result.player_state is PlayerState.ENDED
+        assert result.playback_started
+
+    def test_session_shorter_than_startup(self):
+        result = run_session("S1", ConstantSchedule(kbps(100)),
+                             duration_s=10.0, content_duration_s=60.0)
+        assert not result.playback_started
+
+    def test_dt_granularity_consistency(self):
+        fine = run_session("H6", ConstantSchedule(mbps(2)),
+                           duration_s=60.0, content_duration_s=60.0, dt=0.05)
+        coarse = run_session("H6", ConstantSchedule(mbps(2)),
+                             duration_s=60.0, content_duration_s=60.0, dt=0.2)
+        assert fine.playback_started and coarse.playback_started
+        fine_bitrate = fine.qoe.average_displayed_bitrate_bps
+        coarse_bitrate = coarse.qoe.average_displayed_bitrate_bps
+        assert fine_bitrate == pytest.approx(coarse_bitrate, rel=0.25)
+
+    def test_rtt_sensitivity(self):
+        slow_rtt = run_session("H2", ConstantSchedule(mbps(4)),
+                               duration_s=90.0, content_duration_s=90.0,
+                               rtt_s=0.2)
+        fast_rtt = run_session("H2", ConstantSchedule(mbps(4)),
+                               duration_s=90.0, content_duration_s=90.0,
+                               rtt_s=0.02)
+        # Non-persistent H2 suffers more from high RTT.
+        assert slow_rtt.qoe.average_displayed_bitrate_bps <= \
+            fast_rtt.qoe.average_displayed_bitrate_bps + 1.0
+
+    def test_prefetch_all_indexes_loads_every_sidx(self):
+        result = run_session("D3", ConstantSchedule(mbps(4)),
+                             duration_s=40.0, content_duration_s=60.0)
+        manifest = result.player.manifest
+        assert manifest is not None
+        assert all(track.segments is not None
+                   for track in manifest.video_tracks)
+
+
+class TestDownloadControlFlags:
+    def test_pause_resume_cycle_in_player_state(self):
+        server = OriginServer()
+        built = build_service("S2", server, duration_s=400.0)
+        session = Session(built, server, ConstantSchedule(mbps(10)))
+        paused_seen = resumed_after_pause = False
+        was_paused = False
+        for _ in range(1800):
+            session.network.advance(session.clock.dt)
+            session.player.advance(session.clock.dt)
+            session.clock.tick()
+            paused = session.player._paused[StreamType.VIDEO]
+            if paused:
+                paused_seen = True
+                was_paused = True
+            elif was_paused:
+                resumed_after_pause = True
+                break
+        assert paused_seen and resumed_after_pause

@@ -1,0 +1,126 @@
+"""Origin server tests: hosting, byte ranges, sidx bytes on the wire."""
+
+import pytest
+
+from repro.manifest import ManifestCipher, parse_sidx
+from repro.net.http import HttpMethod, HttpRequest, HttpStatus
+from repro.server import OriginServer
+
+
+@pytest.fixture()
+def server():
+    return OriginServer()
+
+
+class TestHlsHosting:
+    def test_master_served_as_text(self, server, small_asset):
+        hosting = server.host_hls(small_asset, "https://cdn.test")
+        plan = server.handle(HttpRequest(url=hosting.manifest_url))
+        assert plan.is_success
+        assert plan.text is not None and plan.text.startswith("#EXTM3U")
+
+    def test_segment_sizes_match(self, server, small_asset):
+        hosting = server.host_hls(small_asset, "https://cdn.test")
+        track = small_asset.video_tracks[1]
+        url = hosting.builder.segment_url(track, 3)
+        plan = server.handle(HttpRequest(url=url))
+        assert plan.size_bytes == track.segment(3).size_bytes
+
+    def test_head_sizing(self, server, small_asset):
+        hosting = server.host_hls(small_asset, "https://cdn.test")
+        track = small_asset.video_tracks[0]
+        url = hosting.builder.segment_url(track, 0)
+        assert server.content_length(url) == track.segment(0).size_bytes
+
+    def test_unknown_url_404(self, server, small_asset):
+        server.host_hls(small_asset, "https://cdn.test")
+        plan = server.handle(HttpRequest(url="https://cdn.test/nope"))
+        assert plan.status is HttpStatus.NOT_FOUND
+
+
+class TestDashHosting:
+    def test_sidx_bytes_parse_back(self, server, small_asset):
+        hosting = server.host_dash(small_asset, "https://cdn.test")
+        track = small_asset.video_tracks[0]
+        url = hosting.builder.media_url(track)
+        index_range = hosting.builder.index_byte_range(track)
+        plan = server.handle(HttpRequest(url=url, byte_range=index_range))
+        assert plan.data is not None
+        sidx = parse_sidx(plan.data)
+        assert [ref.referenced_size for ref in sidx.references] == \
+            [seg.size_bytes for seg in track.segments]
+
+    def test_media_range_sizes(self, server, small_asset):
+        hosting = server.host_dash(small_asset, "https://cdn.test")
+        track = small_asset.video_tracks[0]
+        url = hosting.builder.media_url(track)
+        byte_range = hosting.builder.byte_range_of(track, 5)
+        plan = server.handle(HttpRequest(url=url, byte_range=byte_range))
+        assert plan.status is HttpStatus.PARTIAL_CONTENT
+        assert plan.size_bytes == track.segment(5).size_bytes
+
+    def test_range_past_end_rejected(self, server, small_asset):
+        hosting = server.host_dash(small_asset, "https://cdn.test")
+        track = small_asset.video_tracks[0]
+        url = hosting.builder.media_url(track)
+        size = hosting.builder.media_file_size(track)
+        plan = server.handle(HttpRequest(url=url, byte_range=(0, size)))
+        assert not plan.is_success
+
+    def test_encrypted_mpd(self, server, small_asset):
+        cipher = ManifestCipher()
+        hosting = server.host_dash(small_asset, "https://cdn.test",
+                                   cipher=cipher)
+        assert hosting.encrypted
+        plan = server.handle(HttpRequest(url=hosting.manifest_url))
+        assert ManifestCipher.is_encrypted(plan.text)
+        assert "<MPD" in cipher.decrypt(plan.text)
+
+    def test_audio_hosted(self, server, small_asset):
+        hosting = server.host_dash(small_asset, "https://cdn.test")
+        audio = small_asset.audio_tracks[0]
+        assert server.has_resource(hosting.builder.media_url(audio))
+
+
+class TestSmoothHosting:
+    def test_manifest_and_fragments(self, server, small_asset):
+        hosting = server.host_smooth(small_asset, "https://cdn.test")
+        plan = server.handle(HttpRequest(url=hosting.manifest_url))
+        assert "<SmoothStreamingMedia" in plan.text
+        track = small_asset.video_tracks[0]
+        url = hosting.builder.fragment_url(track, 2)
+        plan = server.handle(HttpRequest(url=url))
+        assert plan.size_bytes == track.segment(2).size_bytes
+
+    def test_audio_fragments_hosted(self, server, small_asset):
+        hosting = server.host_smooth(small_asset, "https://cdn.test")
+        audio = small_asset.audio_tracks[0]
+        url = hosting.builder.fragment_url(audio, 0)
+        assert server.has_resource(url)
+
+
+class TestServerMisc:
+    def test_duplicate_hosting_rejected(self, server, small_asset):
+        server.host_hls(small_asset, "https://cdn.test")
+        with pytest.raises(ValueError, match="duplicate"):
+            server.host_hls(small_asset, "https://cdn.test")
+
+    def test_head_request(self, server, small_asset):
+        hosting = server.host_hls(small_asset, "https://cdn.test")
+        plan = server.handle(
+            HttpRequest(url=hosting.manifest_url, method=HttpMethod.HEAD)
+        )
+        assert plan.is_success
+        assert plan.size_bytes == 1  # headers only
+
+    def test_replace_text_resource(self, server, small_asset):
+        hosting = server.host_hls(small_asset, "https://cdn.test")
+        server.replace_text_resource(hosting.manifest_url, "#EXTM3U\n")
+        plan = server.handle(HttpRequest(url=hosting.manifest_url))
+        assert plan.text == "#EXTM3U\n"
+        with pytest.raises(KeyError):
+            server.replace_text_resource("https://cdn.test/nope", "x")
+
+    def test_content_length_unknown(self, server):
+        with pytest.raises(KeyError):
+            server.content_length("u")

@@ -1,0 +1,214 @@
+"""Service spec invariants: Table 1 and the paper's server-side facts."""
+
+import math
+
+import pytest
+
+from repro.manifest.types import Protocol
+from repro.media.encoder import DeclaredBitratePolicy, EncodingMode
+from repro.player.config import SchedulerStrategy
+from repro.server import OriginServer
+from repro.services import (
+    ALL_SERVICE_NAMES,
+    SERVICES,
+    build_service,
+    exoplayer_config,
+    get_service,
+)
+from repro.services import sintel_hls_spec as make_sintel_spec
+from repro.services import testcard_dash_spec as make_testcard_spec
+
+HLS = [f"H{i}" for i in range(1, 7)]
+DASH = [f"D{i}" for i in range(1, 5)]
+SMOOTH = ["S1", "S2"]
+
+
+class TestRegistry:
+    def test_twelve_services(self):
+        assert len(SERVICES) == 12
+        assert set(ALL_SERVICE_NAMES) == set(HLS + DASH + SMOOTH)
+
+    def test_get_service(self):
+        assert get_service("H1").name == "H1"
+        with pytest.raises(KeyError, match="unknown service"):
+            get_service("X9")
+
+    def test_protocols(self):
+        for name in HLS:
+            assert get_service(name).protocol is Protocol.HLS
+        for name in DASH:
+            assert get_service(name).protocol is Protocol.DASH
+        for name in SMOOTH:
+            assert get_service(name).protocol is Protocol.SMOOTH
+
+
+class TestTable1Values:
+    """The exact design values of Table 1."""
+
+    def test_segment_durations(self):
+        expected = {"H1": 4, "H2": 2, "H3": 9, "H4": 9, "H5": 6, "H6": 10,
+                    "D1": 5, "D2": 5, "D3": 2, "D4": 6, "S1": 2, "S2": 3}
+        for name, duration in expected.items():
+            assert get_service(name).segment_duration_s == duration
+
+    def test_audio_segment_footnote(self):
+        # "The audio segment duration of D1 and S2 is 2s."
+        assert get_service("D1").audio_segment_duration_s == 2.0
+        assert get_service("S2").audio_segment_duration_s == 2.0
+
+    def test_separate_audio(self):
+        for name in HLS:
+            assert not get_service(name).separate_audio
+        for name in DASH + SMOOTH:
+            assert get_service(name).separate_audio
+
+    def test_max_tcp(self):
+        expected = {"H1": 1, "H2": 1, "H3": 1, "H4": 1, "H5": 1, "H6": 1,
+                    "D1": 6, "D2": 2, "D3": 3, "D4": 3, "S1": 2, "S2": 2}
+        for name, count in expected.items():
+            spec = get_service(name)
+            total = (spec.video_connections + spec.audio_connections
+                     if spec.strategy is SchedulerStrategy.PARTITIONED_PARALLEL
+                     else spec.max_tcp)
+            assert total == count, name
+
+    def test_persistence(self):
+        non_persistent = {"H2", "H3", "H5"}
+        for name in ALL_SERVICE_NAMES:
+            assert get_service(name).persistent == (name not in non_persistent)
+
+    def test_startup_buffer_seconds(self):
+        expected = {"H1": 8, "H2": 8, "H3": 9, "H4": 9, "H5": 12, "H6": 10,
+                    "D1": 15, "D2": 5, "D3": 8, "D4": 6, "S1": 16, "S2": 6}
+        for name, value in expected.items():
+            assert get_service(name).startup_buffer_s == value
+
+    def test_startup_bitrates(self):
+        expected = {"H1": 630, "H2": 1330, "H3": 1050, "H4": 470, "H5": 1850,
+                    "H6": 880, "D1": 410, "D2": 300, "D3": 400, "D4": 670,
+                    "S1": 1350, "S2": 760}
+        for name, value in expected.items():
+            assert get_service(name).startup_bitrate_kbps == value
+
+    def test_thresholds(self):
+        expected = {"H1": (95, 85), "H2": (90, 84), "H3": (40, 30),
+                    "H4": (155, 135), "H5": (30, 20), "H6": (80, 70),
+                    "D1": (182, 178), "D2": (30, 25), "D3": (120, 90),
+                    "D4": (34, 15), "S1": (180, 175), "S2": (30, 4)}
+        for name, (pause, resume) in expected.items():
+            spec = get_service(name)
+            assert (spec.pausing_threshold_s, spec.resuming_threshold_s) == \
+                (pause, resume)
+
+    def test_single_segment_startup_services(self):
+        # Table 2: H3, H4, H6, D2, D4 start playback with one segment.
+        single = {name for name in ALL_SERVICE_NAMES
+                  if get_service(name).startup_segments == 1}
+        assert single == {"H3", "H4", "H6", "D2", "D4"}
+
+    def test_sr_services(self):
+        assert {n for n in ALL_SERVICE_NAMES if get_service(n).performs_sr} \
+            == {"H1", "H4"}
+
+    def test_decrease_buffer_thresholds(self):
+        expected = {"H2": 40.0, "D3": 30.0, "S1": 50.0}
+        for name in ALL_SERVICE_NAMES:
+            spec = get_service(name)
+            assert spec.decrease_buffer_threshold_s == expected.get(name)
+
+    def test_unstable_service(self):
+        assert [n for n in ALL_SERVICE_NAMES if get_service(n).abr_unstable] \
+            == ["D1"]
+
+    def test_encrypted_manifest(self):
+        assert [n for n in ALL_SERVICE_NAMES
+                if get_service(n).encrypted_manifest] == ["D3"]
+
+
+class TestLadderConstraints:
+    """Server-side observations of section 3.1."""
+
+    def test_highest_track_range(self):
+        for name in ALL_SERVICE_NAMES:
+            highest = get_service(name).highest_track_kbps
+            assert 2000 <= highest <= 5500, name
+
+    def test_high_bottom_track_services(self):
+        high = {name for name in ALL_SERVICE_NAMES
+                if get_service(name).lowest_track_kbps > 500}
+        assert high == {"H2", "H5", "S1"}
+
+    def test_inter_track_spacing(self):
+        # Apple's guideline: adjacent tracks a factor of 1.5-2 apart.
+        for name in ALL_SERVICE_NAMES:
+            ladder = get_service(name).ladder_kbps
+            for low, high in zip(ladder, ladder[1:]):
+                assert 1.35 <= high / low <= 2.1, (name, low, high)
+
+    def test_three_cbr_services(self):
+        cbr = {name for name in ALL_SERVICE_NAMES
+               if get_service(name).encoding is EncodingMode.CBR}
+        assert cbr == {"H2", "H3", "H5"}
+
+    def test_smooth_declares_average(self):
+        for name in SMOOTH:
+            assert get_service(name).declared_policy is \
+                DeclaredBitratePolicy.AVERAGE
+        for name in HLS + DASH:
+            assert get_service(name).declared_policy is \
+                DeclaredBitratePolicy.PEAK
+
+    def test_startup_track_exists_in_ladder(self):
+        for name in ALL_SERVICE_NAMES:
+            spec = get_service(name)
+            assert spec.startup_bitrate_kbps in spec.ladder_kbps, name
+
+
+class TestBuildService:
+    def test_build_each_service(self):
+        for name in ALL_SERVICE_NAMES:
+            server = OriginServer()
+            built = build_service(name, server, duration_s=30.0)
+            assert server.has_resource(built.manifest_url)
+            assert built.player_config.name == name
+            assert (built.cipher is not None) == (name == "D3")
+
+    def test_derived_vbr_ratio(self):
+        """VBR peak-declared services: average actual ~= half declared
+        (the Figure 5 / section 4.2 precondition for D1/D2)."""
+        server = OriginServer()
+        built = build_service("D2", server, duration_s=300.0)
+        top = built.asset.video_tracks[-1]
+        ratio = top.average_actual_bitrate_bps / top.declared_bitrate_bps
+        assert 0.4 < ratio < 0.7
+
+    def test_startup_segment_counts_match_formula(self):
+        for name in ALL_SERVICE_NAMES:
+            spec = get_service(name)
+            assert spec.startup_segments == max(
+                1, math.ceil(spec.startup_buffer_s / spec.segment_duration_s)
+            )
+
+
+class TestExoPlayerPresets:
+    def test_sr_modes(self):
+        for mode in ("none", "v1", "improved", "capped"):
+            config = exoplayer_config(sr=mode)
+            assert config.allow_mid_replacement == (mode in
+                                                    ("improved", "capped"))
+
+    def test_invalid_sr(self):
+        with pytest.raises(ValueError):
+            exoplayer_config(sr="bogus")
+
+    def test_use_actual_prefetches_indexes(self):
+        assert exoplayer_config(use_actual=True).prefetch_all_indexes
+        assert not exoplayer_config().prefetch_all_indexes
+
+    def test_test_streams(self):
+        testcard = make_testcard_spec(8.0)
+        assert testcard.segment_duration_s == 8.0
+        assert testcard.protocol is Protocol.DASH
+        sintel = make_sintel_spec()
+        assert sintel.protocol is Protocol.HLS
+        assert len(sintel.ladder_kbps) == 7

@@ -1,0 +1,153 @@
+"""Cellular trace generation (Figure 3 input) and the RRC energy model."""
+
+import pytest
+
+from repro.net.rrc import RrcConfig, RrcMachine, RrcState
+from repro.net.traces import (
+    PROFILE_COUNT,
+    CellularTrace,
+    Scenario,
+    cellular_profiles,
+    generate_trace,
+    split_trace,
+)
+from repro.util import mbps
+
+
+class TestTraces:
+    @pytest.fixture(scope="class")
+    def profiles(self):
+        return cellular_profiles(600)
+
+    def test_fourteen_profiles(self, profiles):
+        assert len(profiles) == PROFILE_COUNT
+
+    def test_sorted_by_average(self, profiles):
+        averages = [trace.average_bps for trace in profiles]
+        assert averages == sorted(averages)
+
+    def test_average_ladder_range(self, profiles):
+        # Figure 3: averages span well under 1 Mbps up to ~40 Mbps.
+        assert profiles[0].average_bps < mbps(0.5)
+        assert profiles[-1].average_bps > mbps(30)
+
+    def test_duration_and_granularity(self, profiles):
+        for trace in profiles:
+            assert trace.duration_s == 600
+            assert len(trace.samples_bps) == 600
+
+    def test_samples_positive(self, profiles):
+        for trace in profiles:
+            assert trace.min_bps > 0
+
+    def test_deterministic(self):
+        assert generate_trace(3, 120).samples_bps == \
+            generate_trace(3, 120).samples_bps
+
+    def test_profiles_differ(self):
+        assert generate_trace(3, 120).samples_bps != \
+            generate_trace(4, 120).samples_bps
+
+    def test_scenarios_assigned(self, profiles):
+        assert profiles[0].scenario is Scenario.DRIVING
+        assert profiles[6].scenario is Scenario.WALKING
+        assert profiles[-1].scenario is Scenario.STATIONARY
+
+    def test_driving_more_variable_than_stationary(self):
+        driving = generate_trace(2, 600)
+        stationary = generate_trace(13, 600)
+
+        def coefficient_of_variation(trace: CellularTrace) -> float:
+            mean = trace.average_bps
+            var = sum((s - mean) ** 2 for s in trace.samples_bps) / len(
+                trace.samples_bps
+            )
+            return var ** 0.5 / mean
+
+        assert coefficient_of_variation(driving) > \
+            coefficient_of_variation(stationary)
+
+    def test_invalid_profile_id(self):
+        with pytest.raises(ValueError):
+            generate_trace(0)
+        with pytest.raises(ValueError):
+            generate_trace(15)
+
+    def test_split_trace(self):
+        trace = generate_trace(1, 600)
+        chunks = split_trace(trace, 60)
+        assert len(chunks) == 10
+        assert all(chunk.duration_s == 60 for chunk in chunks)
+        reassembled = tuple(
+            sample for chunk in chunks for sample in chunk.samples_bps
+        )
+        assert reassembled == trace.samples_bps
+
+    def test_as_schedule(self):
+        trace = generate_trace(5, 60)
+        schedule = trace.as_schedule()
+        assert schedule.bandwidth_at(30.5) == trace.samples_bps[30]
+
+
+class TestRrc:
+    def test_promotion_and_energy(self):
+        machine = RrcMachine()
+        machine.observe(True, 1.0)
+        assert machine.state is RrcState.CONNECTED_ACTIVE
+        assert machine.promotions == 1
+        expected = machine.config.promotion_energy_j + machine.config.active_power_w
+        assert machine.energy_j == pytest.approx(expected)
+
+    def test_tail_then_idle(self):
+        config = RrcConfig(demotion_timer_s=2.0)
+        machine = RrcMachine(config=config)
+        machine.observe(True, 1.0)
+        machine.observe(False, 1.0)
+        assert machine.state is RrcState.CONNECTED_TAIL
+        machine.observe(False, 1.0)
+        assert machine.state is RrcState.IDLE
+        assert machine.demotions == 1
+
+    def test_activity_resets_tail(self):
+        config = RrcConfig(demotion_timer_s=2.0)
+        machine = RrcMachine(config=config)
+        machine.observe(True, 1.0)
+        machine.observe(False, 1.5)
+        machine.observe(True, 1.0)   # back to active before demotion
+        machine.observe(False, 1.5)
+        assert machine.state is RrcState.CONNECTED_TAIL
+        assert machine.demotions == 0
+
+    def test_short_gap_never_reaches_idle(self):
+        """A pause shorter than the demotion timer burns tail energy the
+        whole time — the section 3.3.2 energy point."""
+        config = RrcConfig(demotion_timer_s=11.0)
+        machine = RrcMachine(config=config)
+        for _ in range(10):
+            machine.observe(True, 1.0)
+            for _ in range(8):  # 8 s gaps < 11 s timer
+                machine.observe(False, 1.0)
+        assert machine.time_in_state[RrcState.IDLE] == 0.0
+        assert machine.promotions == 1
+
+    def test_long_gap_reaches_idle_and_saves_energy(self):
+        config = RrcConfig(demotion_timer_s=11.0)
+        short_gap = RrcMachine(config=config)
+        long_gap = RrcMachine(config=config)
+        # Same active time, same total duration; different gap structure.
+        for _ in range(4):
+            short_gap.observe(True, 2.0)
+            for _ in range(10):
+                short_gap.observe(False, 1.0)
+        long_gap.observe(True, 8.0)
+        for _ in range(40):
+            long_gap.observe(False, 1.0)
+        assert long_gap.time_in_state[RrcState.IDLE] > 0
+        assert long_gap.energy_j < short_gap.energy_j
+
+    def test_idle_fraction(self):
+        machine = RrcMachine(config=RrcConfig(demotion_timer_s=1.0))
+        machine.observe(True, 1.0)
+        for _ in range(3):
+            machine.observe(False, 1.0)
+        assert 0.0 < machine.idle_fraction < 1.0
