@@ -19,6 +19,7 @@ from repro.blackbox import (
     probe_download_thresholds,
     probe_startup_buffer,
 )
+from repro.core.parallel import default_worker_count, parallel_map
 from repro.core.session import run_session
 from repro.media.track import StreamType
 from repro.net.schedule import ConstantSchedule
@@ -53,7 +54,12 @@ def _measure(name):
 
 def test_table1_design_choices(benchmark, show):
     def run():
-        return {name: _measure(name) for name in ALL_SERVICE_NAMES}
+        # One worker task per service: _measure returns only picklable
+        # probe results, so the sweep engine can fan the 12 services out.
+        measurements = parallel_map(
+            _measure, ALL_SERVICE_NAMES, workers=default_worker_count()
+        )
+        return dict(zip(ALL_SERVICE_NAMES, measurements))
 
     measured = once(benchmark, run)
 

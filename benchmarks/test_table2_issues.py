@@ -15,6 +15,7 @@ from repro.core.bestpractices import (
     detect_non_persistent,
     detect_unstable_selection,
 )
+from repro.core.parallel import default_worker_count, parallel_map
 from repro.core.session import run_session
 from repro.net.schedule import ConstantSchedule, StepSchedule
 from repro.net.traces import generate_trace
@@ -34,42 +35,52 @@ EXPECTED = {
 }
 
 
+def _detect_for_service(name):
+    """Run every per-service detector; returns picklable Issue set."""
+    spec = get_service(name)
+    sr_schedule = StepSchedule(
+        steps=((0.0, mbps(6)), (80.0, kbps(900)), (180.0, mbps(4)),
+               (195.0, kbps(350)))
+    )
+    issues: set[Issue] = set()
+    plain = run_session(name, ConstantSchedule(mbps(4)),
+                        duration_s=90.0, content_duration_s=90.0)
+    if detect_high_bottom_track(plain):
+        issues.add(Issue.HIGH_BOTTOM_TRACK)
+    if detect_non_persistent(plain):
+        issues.add(Issue.NON_PERSISTENT_TCP)
+    constant = run_session(name, ConstantSchedule(kbps(500)),
+                           duration_s=300.0, content_duration_s=500.0)
+    if detect_unstable_selection(constant):
+        issues.add(Issue.UNSTABLE_SELECTION)
+    if spec.separate_audio:
+        low = run_session(name, generate_trace(1, 600), duration_s=600.0)
+        if detect_av_desync(low):
+            issues.add(Issue.AV_DESYNC)
+    if spec.performs_sr:
+        sr_run = run_session(name, sr_schedule, duration_s=420.0,
+                             content_duration_s=800.0)
+        if detect_lossy_sr(sr_run):
+            issues.add(Issue.LOSSY_SEGMENT_REPLACEMENT)
+    # design-derived rows (measured by the Table 1 probes; here we
+    # reuse the spec-derived values those probes recover exactly)
+    if spec.startup_segments == 1:
+        issues.add(Issue.SINGLE_SEGMENT_STARTUP)
+    if spec.resuming_threshold_s < 10.0:
+        issues.add(Issue.LOW_RESUME_THRESHOLD)
+    return issues
+
+
 def test_table2_issue_detection(benchmark, show):
     def run():
-        lowest = generate_trace(1, 600)
-        sr_schedule = StepSchedule(
-            steps=((0.0, mbps(6)), (80.0, kbps(900)), (180.0, mbps(4)),
-                   (195.0, kbps(350)))
+        per_service = parallel_map(
+            _detect_for_service, ALL_SERVICE_NAMES,
+            workers=default_worker_count(),
         )
         found: dict[Issue, set[str]] = {issue: set() for issue in EXPECTED}
-        for name in ALL_SERVICE_NAMES:
-            spec = get_service(name)
-            plain = run_session(name, ConstantSchedule(mbps(4)),
-                                duration_s=90.0, content_duration_s=90.0)
-            if detect_high_bottom_track(plain):
-                found[Issue.HIGH_BOTTOM_TRACK].add(name)
-            if detect_non_persistent(plain):
-                found[Issue.NON_PERSISTENT_TCP].add(name)
-            constant = run_session(name, ConstantSchedule(kbps(500)),
-                                   duration_s=300.0,
-                                   content_duration_s=500.0)
-            if detect_unstable_selection(constant):
-                found[Issue.UNSTABLE_SELECTION].add(name)
-            if spec.separate_audio:
-                low = run_session(name, lowest, duration_s=600.0)
-                if detect_av_desync(low):
-                    found[Issue.AV_DESYNC].add(name)
-            if spec.performs_sr:
-                sr_run = run_session(name, sr_schedule, duration_s=420.0,
-                                     content_duration_s=800.0)
-                if detect_lossy_sr(sr_run):
-                    found[Issue.LOSSY_SEGMENT_REPLACEMENT].add(name)
-            # design-derived rows (measured by the Table 1 probes; here we
-            # reuse the spec-derived values those probes recover exactly)
-            if spec.startup_segments == 1:
-                found[Issue.SINGLE_SEGMENT_STARTUP].add(name)
-            if spec.resuming_threshold_s < 10.0:
-                found[Issue.LOW_RESUME_THRESHOLD].add(name)
+        for name, issues in zip(ALL_SERVICE_NAMES, per_service):
+            for issue in issues:
+                found[issue].add(name)
         return found
 
     found = once(benchmark, run)

@@ -4,8 +4,9 @@ Commands mirror the library's main entry points:
 
 * ``run SERVICE [--profile N | --bandwidth MBPS] [--duration S]`` —
   stream one service and print its QoE report;
-* ``compare [SERVICES...] [--profiles N,N] [--duration S]`` — the
-  cross-sectional comparison table;
+* ``compare [SERVICES...] [--profiles N,N] [--duration S] [--workers N]
+  [--fast-forward]`` — the cross-sectional comparison table, optionally
+  fanned out over worker processes via the sweep engine;
 * ``probe SERVICE`` — black-box recovery of a Table 1 column;
 * ``services`` — list the modelled services and their designs;
 * ``profiles`` — list the 14 cellular bandwidth profiles.
@@ -17,7 +18,7 @@ import argparse
 import sys
 
 from repro.analysis.report import render_comparison, render_qoe_report
-from repro.core.experiment import ProfileRun, summarize_runs
+from repro.core.experiment import run_service_over_profiles, summarize_runs
 from repro.core.session import run_session
 from repro.net.schedule import ConstantSchedule
 from repro.net.traces import cellular_profiles
@@ -47,6 +48,10 @@ def _build_parser() -> argparse.ArgumentParser:
     compare_parser.add_argument("--profiles", default="2,5,8",
                                 help="comma-separated profile ids")
     compare_parser.add_argument("--duration", type=float, default=300.0)
+    compare_parser.add_argument("--workers", type=int, default=0,
+                                help="worker processes (0 = serial)")
+    compare_parser.add_argument("--fast-forward", action="store_true",
+                                help="skip provably idle ticks")
 
     probe_parser = commands.add_parser("probe",
                                        help="black-box probe a service")
@@ -79,18 +84,17 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_compare(args) -> int:
+    if args.workers < 0:
+        raise SystemExit("--workers must be >= 0")
     profile_ids = [int(part) for part in args.profiles.split(",") if part]
     profiles = cellular_profiles(int(args.duration))
     selected = [profiles[pid - 1] for pid in profile_ids]
     summaries = []
     for name in args.services:
-        runs = [
-            ProfileRun(
-                service_name=name, profile_id=trace.profile_id, repetition=0,
-                result=run_session(name, trace, duration_s=args.duration),
-            )
-            for trace in selected
-        ]
+        runs = run_service_over_profiles(
+            name, selected, duration_s=args.duration,
+            workers=args.workers, fast_forward=args.fast_forward,
+        )
         summaries.append(summarize_runs(runs))
     print(render_comparison(summaries))
     return 0

@@ -7,6 +7,16 @@ from repro.core.experiment import (
     run_service_over_profiles,
     summarize_runs,
 )
+from repro.core.parallel import (
+    RunRecord,
+    RunSpec,
+    SweepRunner,
+    default_worker_count,
+    execute_run_spec,
+    parallel_map,
+    record_from_result,
+    sweep_grid,
+)
 from repro.core.bestpractices import (
     BestPractice,
     Finding,
@@ -26,6 +36,14 @@ __all__ = [
     "ProfileRun",
     "run_service_over_profiles",
     "summarize_runs",
+    "RunRecord",
+    "RunSpec",
+    "SweepRunner",
+    "default_worker_count",
+    "execute_run_spec",
+    "parallel_map",
+    "record_from_result",
+    "sweep_grid",
     "BestPractice",
     "Finding",
     "Issue",

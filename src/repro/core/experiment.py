@@ -4,31 +4,48 @@ The paper runs each service against 14 recorded cellular bandwidth
 profiles for 10 minutes, repeating runs to wash out transients.  These
 helpers do the same against the synthetic profiles, with duration and
 repetition knobs so tests and benchmarks can trade fidelity for time.
+
+Execution is delegated to the sweep engine (:mod:`repro.core.parallel`):
+``workers=0`` (the default) runs in process and keeps the full live
+:class:`~repro.core.session.SessionResult` on each run; ``workers>0``
+fans the grid over worker processes and keeps only the compact
+:class:`~repro.core.parallel.RunRecord` — the QoE-level outputs are
+identical either way.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from statistics import mean, median
 from typing import Optional, Sequence
 
-from repro.core.session import SessionResult, run_session
+from repro.core.parallel import RunRecord, RunSpec, SweepRunner
+from repro.core.session import SessionResult
 from repro.net.traces import CellularTrace, cellular_profiles
 from repro.player.config import PlayerConfig
 
 
 @dataclass
 class ProfileRun:
-    """One (service, profile, repetition) run."""
+    """One (service, profile, repetition) run.
+
+    ``result`` (the live session graph) is populated by serial sweeps;
+    parallel sweeps return only the picklable ``record``.  ``qoe`` works
+    with either.
+    """
 
     service_name: str
     profile_id: int
     repetition: int
-    result: SessionResult
+    result: Optional[SessionResult] = None
+    record: Optional[RunRecord] = field(repr=False, default=None)
 
     @property
     def qoe(self):
-        return self.result.qoe
+        if self.result is not None:
+            return self.result.qoe
+        assert self.record is not None, "ProfileRun carries neither result nor record"
+        return self.record.qoe
 
 
 def run_service_over_profiles(
@@ -39,29 +56,76 @@ def run_service_over_profiles(
     repetitions: int = 1,
     player_config: Optional[PlayerConfig] = None,
     dt: float = 0.1,
+    workers: int = 0,
+    fast_forward: bool = False,
 ) -> list[ProfileRun]:
     """Run a service over every profile (x repetitions)."""
     if profiles is None:
         profiles = cellular_profiles(int(duration_s))
+    if player_config is not None and workers > 0:
+        raise ValueError(
+            "player_config holds unpicklable factories; use workers=0 "
+            "or express the change as RunSpec.config_overrides"
+        )
+    specs = [
+        RunSpec(
+            service=spec_or_name,
+            profile_id=trace.profile_id,
+            repetition=repetition,
+            duration_s=duration_s,
+            dt=dt,
+            trace=trace,
+            fast_forward=fast_forward,
+        )
+        for trace in profiles
+        for repetition in range(repetitions)
+    ]
+    runner = SweepRunner(workers=workers)
     runs: list[ProfileRun] = []
-    for trace in profiles:
-        for repetition in range(repetitions):
+    if workers > 0:
+        for spec, record in zip(specs, runner.run(specs)):
+            runs.append(
+                ProfileRun(
+                    service_name=record.service_name,
+                    profile_id=spec.profile_id,
+                    repetition=spec.repetition,
+                    record=record,
+                )
+            )
+        return runs
+    if player_config is not None:
+        # Live path for factory-carrying configs (unpicklable, serial only).
+        from repro.core.session import run_session
+
+        for spec in specs:
             result = run_session(
                 spec_or_name,
-                trace,
+                spec.resolved_trace(),
                 duration_s=duration_s,
                 player_config=player_config,
                 dt=dt,
-                content_seed=11 + repetition,
+                content_seed=spec.resolved_content_seed,
+                fast_forward=fast_forward,
             )
             runs.append(
                 ProfileRun(
                     service_name=result.service_name,
-                    profile_id=trace.profile_id,
-                    repetition=repetition,
+                    profile_id=spec.profile_id,
+                    repetition=spec.repetition,
                     result=result,
                 )
             )
+        return runs
+    for spec, (record, result) in zip(specs, runner.run_with_results(specs)):
+        runs.append(
+            ProfileRun(
+                service_name=record.service_name,
+                profile_id=spec.profile_id,
+                repetition=spec.repetition,
+                result=result,
+                record=record,
+            )
+        )
     return runs
 
 

@@ -10,6 +10,7 @@ each player by URL namespace.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
@@ -20,9 +21,9 @@ from repro.analysis.ui import UiMonitor
 from repro.net.clock import Clock
 from repro.net.network import Network
 from repro.net.schedule import BandwidthSchedule
-from repro.player.player import Player
+from repro.player.player import Player, PlayerState
 from repro.server.origin import OriginServer
-from repro.services.profiles import BuiltService, build_service
+from repro.services.profiles import BuiltService, build_service, get_service
 
 
 @dataclass
@@ -48,10 +49,13 @@ class MultiSession:
         *,
         dt: float = 0.1,
         rtt_s: float = 0.05,
+        fast_forward: bool = False,
     ):
         if not builts:
             raise ValueError("need at least one client")
         self.builts = list(builts)
+        self.fast_forward = fast_forward
+        self.fast_forwarded_ticks = 0
         self.clock = Clock(dt=dt)
         self.proxy = Proxy(server)
         self.network = Network(self.clock, self.proxy, schedule, rtt_s=rtt_s)
@@ -65,12 +69,44 @@ class MultiSession:
     def run(self, duration_s: float) -> list[ClientResult]:
         dt = self.clock.dt
         while self.clock.now < duration_s - 1e-9:
+            if self.fast_forward and self._try_fast_forward(duration_s):
+                continue
             self.network.advance(dt)
             for player in self.players:
                 player.advance(dt)
             self.clock.tick()
             if all(player.ended for player in self.players):
                 break
+        return self._collect_results()
+
+    def _try_fast_forward(self, duration_s: float) -> bool:
+        """Jump the shared clock over a stretch idle for *every* player."""
+        if all(player.ended for player in self.players):
+            return False  # the serial loop is about to break
+        for player in self.players:
+            if player.state not in (PlayerState.PLAYING, PlayerState.ENDED):
+                return False
+            if player.scheduler.busy:
+                return False
+        if any(conn.transfer is not None for conn in self.network.connections):
+            return False
+        dt = self.clock.dt
+        max_ticks = int((duration_s - 1e-9 - self.clock.now) / dt)
+        if max_ticks < 2:
+            return False
+        ticks = min(
+            player.idle_noop_ticks(dt, max_ticks) for player in self.players
+        )
+        if ticks < 2:
+            return False
+        for player in self.players:
+            player.apply_noop_ticks(ticks, dt)
+        for _ in range(ticks):
+            self.clock.tick()
+        self.fast_forwarded_ticks += ticks
+        return True
+
+    def _collect_results(self) -> list[ClientResult]:
         results = []
         for built, player in zip(self.builts, self.players):
             marker = f"/{built.asset.asset_id}/"
@@ -104,6 +140,7 @@ def run_shared_link(
     dt: float = 0.1,
     rtt_s: float = 0.05,
     content_seed: int = 11,
+    fast_forward: bool = False,
 ) -> list[ClientResult]:
     """Convenience: host each service and run them on one shared link.
 
@@ -114,10 +151,6 @@ def run_shared_link(
     server = OriginServer()
     builts = []
     for index, spec_or_name in enumerate(spec_or_names):
-        import dataclasses
-
-        from repro.services.profiles import get_service
-
         spec = (get_service(spec_or_name) if isinstance(spec_or_name, str)
                 else spec_or_name)
         distinct = dataclasses.replace(spec, name=f"{spec.name}#{index}")
@@ -130,5 +163,7 @@ def run_shared_link(
                 base_url=f"https://cdn{index}.example.com",
             )
         )
-    session = MultiSession(builts, server, schedule, dt=dt, rtt_s=rtt_s)
+    session = MultiSession(
+        builts, server, schedule, dt=dt, rtt_s=rtt_s, fast_forward=fast_forward
+    )
     return session.run(duration_s)

@@ -1,0 +1,286 @@
+"""Parallel sweep engine: fan the paper's grid over worker processes.
+
+The methodology of section 2.6 is a sweep — 12 services x 14 cellular
+profiles x repetitions, 10 minutes each — and every run is independent
+of every other.  :class:`SweepRunner` exploits that: it describes each
+run as a picklable :class:`RunSpec`, executes the grid on a
+``ProcessPoolExecutor`` (or in process with ``workers=0``), and returns
+compact :class:`RunRecord` summaries instead of live player/proxy
+graphs.
+
+Determinism guarantees:
+
+* records come back in the exact order of the submitted specs
+  regardless of which worker finished first (``Executor.map``);
+* a record is a pure function of its spec — the simulation seeds
+  everything from the spec and nothing in a record depends on wall
+  time or worker identity — so ``workers=N`` and ``workers=0`` produce
+  bit-identical sequences.
+
+Workers warm the per-process asset-encoding cache
+(:mod:`repro.media.cache`) on their first run of each (service,
+duration, seed) combination; with chunked maps each worker re-encodes a
+catalogue at most once per combination instead of once per run.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, replace
+from typing import Callable, Iterable, Optional, Sequence, TypeVar, Union
+
+from repro.analysis.qoe import QoeReport
+from repro.core.session import Session, SessionResult
+from repro.net.rrc import RrcState
+from repro.net.traces import TRACE_SEED, CellularTrace, generate_trace
+from repro.player.events import SegmentPlayStarted, StallEnded
+from repro.server.origin import OriginServer
+from repro.services.profiles import (
+    DEFAULT_CONTENT_SEED,
+    ServiceSpec,
+    build_service,
+    get_service,
+)
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """A picklable description of one (service, profile, repetition) run.
+
+    ``service`` is a registered service name or a full
+    :class:`ServiceSpec` (itself a frozen, picklable dataclass).
+    ``config_overrides`` are (field, value) pairs applied with
+    ``dataclasses.replace`` to the spec-derived
+    :class:`~repro.player.config.PlayerConfig`; only simple fields can
+    be overridden this way, which is exactly what keeps a spec
+    picklable (the config's algorithm factories are closures).
+    """
+
+    service: Union[str, ServiceSpec]
+    profile_id: int
+    repetition: int = 0
+    duration_s: float = 600.0
+    dt: float = 0.1
+    rtt_s: float = 0.05
+    content_seed: Optional[int] = None  # default: DEFAULT_CONTENT_SEED + repetition
+    content_duration_s: Optional[float] = None
+    fast_forward: bool = False
+    trace: Optional[CellularTrace] = None  # overrides (profile_id, trace_seed)
+    trace_duration_s: Optional[float] = None
+    trace_seed: int = TRACE_SEED
+    config_overrides: tuple[tuple[str, object], ...] = ()
+
+    @property
+    def service_name(self) -> str:
+        return self.service if isinstance(self.service, str) else self.service.name
+
+    @property
+    def resolved_content_seed(self) -> int:
+        if self.content_seed is not None:
+            return self.content_seed
+        return DEFAULT_CONTENT_SEED + self.repetition
+
+    def resolved_trace(self) -> CellularTrace:
+        if self.trace is not None:
+            return self.trace
+        return generate_trace(
+            self.profile_id,
+            int(self.trace_duration_s or self.duration_s),
+            self.trace_seed,
+        )
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """Compact, serializable result of one run (no live objects).
+
+    Every field is a pure function of the producing :class:`RunSpec`,
+    so serial and parallel backends compare equal with ``==``.
+    """
+
+    service_name: str
+    profile_id: int
+    repetition: int
+    requested_duration_s: float
+    duration_s: float  # simulated clock at session end
+    final_state: str
+    final_position_s: float
+    qoe: QoeReport = field(repr=False)
+    true_startup_delay_s: Optional[float]
+    true_stall_count: int
+    true_stall_s: float
+    total_bytes: int
+    radio_energy_j: float
+    radio_idle_fraction: float
+    # (at, declared_bitrate_bps) per displayed video segment start
+    bitrate_timeline: tuple[tuple[float, float], ...] = field(repr=False)
+    # (stall_end_at, stall_duration_s) per completed stall
+    stall_timeline: tuple[tuple[float, float], ...] = field(repr=False)
+
+
+def record_from_result(spec: RunSpec, result: SessionResult) -> RunRecord:
+    """Distill a live :class:`SessionResult` into a :class:`RunRecord`."""
+    assert result.events is not None and result.qoe is not None
+    assert result.rrc is not None and result.player is not None
+    return RunRecord(
+        service_name=result.service_name,
+        profile_id=spec.profile_id,
+        repetition=spec.repetition,
+        requested_duration_s=spec.duration_s,
+        duration_s=result.duration_s,
+        final_state=result.player_state.value,
+        final_position_s=result.player.position_s,
+        qoe=result.qoe,
+        true_startup_delay_s=result.true_startup_delay_s,
+        true_stall_count=result.true_stall_count,
+        true_stall_s=result.true_stall_s,
+        total_bytes=result.qoe.total_bytes,
+        radio_energy_j=result.rrc.energy_j,
+        radio_idle_fraction=result.rrc.time_in_state[RrcState.IDLE]
+        / max(sum(result.rrc.time_in_state.values()), 1e-12),
+        bitrate_timeline=tuple(
+            (event.at, event.declared_bitrate_bps)
+            for event in result.events.of_type(SegmentPlayStarted)
+        ),
+        stall_timeline=tuple(
+            (event.at, event.duration_s)
+            for event in result.events.of_type(StallEnded)
+        ),
+    )
+
+
+def _session_for_spec(spec: RunSpec) -> Session:
+    schedule = spec.resolved_trace().as_schedule()
+    server = OriginServer()
+    service = (
+        get_service(spec.service) if isinstance(spec.service, str) else spec.service
+    )
+    player_config = None
+    if spec.config_overrides:
+        player_config = replace(
+            service.player_config(), **dict(spec.config_overrides)
+        )
+    built = build_service(
+        service,
+        server,
+        duration_s=spec.content_duration_s or spec.duration_s,
+        content_seed=spec.resolved_content_seed,
+        player_config=player_config,
+    )
+    return Session(
+        built,
+        server,
+        schedule,
+        dt=spec.dt,
+        rtt_s=spec.rtt_s,
+        fast_forward=spec.fast_forward,
+    )
+
+
+def execute_run_spec(spec: RunSpec) -> RunRecord:
+    """Run one spec to completion (module level, hence pool-picklable)."""
+    session = _session_for_spec(spec)
+    result = session.run(spec.duration_s)
+    return record_from_result(spec, result)
+
+
+def execute_run_spec_with_result(
+    spec: RunSpec,
+) -> tuple[RunRecord, SessionResult]:
+    """Serial-only variant that also keeps the live session result."""
+    session = _session_for_spec(spec)
+    result = session.run(spec.duration_s)
+    return record_from_result(spec, result), result
+
+
+def default_worker_count() -> int:
+    """Workers to use when unspecified: leave one core free, cap at 8.
+
+    On a single-core host this is 0 — the serial backend — because
+    process fan-out cannot beat in-process execution there.
+    """
+    return max(0, min(8, (os.cpu_count() or 1) - 1))
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    *,
+    workers: Optional[int] = None,
+    chunksize: int = 1,
+) -> list[R]:
+    """Ordered map over worker processes, serial when ``workers`` <= 0.
+
+    ``fn`` must be a module-level callable and items/results must be
+    picklable.  Results preserve the order of ``items``.
+    """
+    items = list(items)
+    if workers is None:
+        workers = default_worker_count()
+    if workers <= 0 or len(items) <= 1:
+        return [fn(item) for item in items]
+    with ProcessPoolExecutor(max_workers=min(workers, len(items))) as pool:
+        return list(pool.map(fn, items, chunksize=chunksize))
+
+
+def sweep_grid(
+    services: Sequence[Union[str, ServiceSpec]],
+    profile_ids: Sequence[int],
+    *,
+    repetitions: int = 1,
+    **spec_kwargs,
+) -> list[RunSpec]:
+    """Specs for a full services x profiles x repetitions grid.
+
+    Ordered service-major, then profile, then repetition — the same
+    nesting the serial helpers use.
+    """
+    return [
+        RunSpec(
+            service=service,
+            profile_id=profile_id,
+            repetition=repetition,
+            **spec_kwargs,
+        )
+        for service in services
+        for profile_id in profile_ids
+        for repetition in range(repetitions)
+    ]
+
+
+class SweepRunner:
+    """Execute a sequence of :class:`RunSpec`s, serially or in parallel.
+
+    ``workers=0`` runs in process; ``workers=N`` fans out over N worker
+    processes; ``workers=None`` picks :func:`default_worker_count`.
+    Either way the returned records are identical, in spec order.
+    """
+
+    def __init__(self, workers: Optional[int] = None, *, chunksize: int = 1):
+        if workers is None:
+            workers = default_worker_count()
+        if workers < 0:
+            raise ValueError(f"workers must be >= 0, got {workers}")
+        if chunksize < 1:
+            raise ValueError(f"chunksize must be >= 1, got {chunksize}")
+        self.workers = workers
+        self.chunksize = chunksize
+
+    def run(self, specs: Sequence[RunSpec]) -> list[RunRecord]:
+        return parallel_map(
+            execute_run_spec,
+            specs,
+            workers=self.workers,
+            chunksize=self.chunksize,
+        )
+
+    def run_with_results(
+        self, specs: Sequence[RunSpec]
+    ) -> list[tuple[RunRecord, SessionResult]]:
+        """In-process execution that keeps live results (never parallel:
+        sessions hold unpicklable object graphs)."""
+        return [execute_run_spec_with_result(spec) for spec in specs]

@@ -32,35 +32,44 @@ from repro.services.profiles import BuiltService, build_service
 
 @dataclass
 class SessionResult:
-    """Everything one session produced."""
+    """Everything one session produced.
+
+    The heavyweight fields are genuinely optional: compact replay paths
+    (e.g. records deserialized by the sweep engine) may construct a
+    result without live player/proxy objects.
+    """
 
     service_name: str
     duration_s: float
     player_state: PlayerState
-    events: EventLog = field(repr=False, default=None)  # type: ignore[assignment]
-    proxy: Proxy = field(repr=False, default=None)  # type: ignore[assignment]
-    analyzer: TrafficAnalyzer = field(repr=False, default=None)  # type: ignore[assignment]
-    ui: UiMonitor = field(repr=False, default=None)  # type: ignore[assignment]
-    qoe: QoeReport = field(repr=False, default=None)  # type: ignore[assignment]
-    rrc: RrcMachine = field(repr=False, default=None)  # type: ignore[assignment]
-    player: Player = field(repr=False, default=None)  # type: ignore[assignment]
+    events: Optional[EventLog] = field(repr=False, default=None)
+    proxy: Optional[Proxy] = field(repr=False, default=None)
+    analyzer: Optional[TrafficAnalyzer] = field(repr=False, default=None)
+    ui: Optional[UiMonitor] = field(repr=False, default=None)
+    qoe: Optional[QoeReport] = field(repr=False, default=None)
+    rrc: Optional[RrcMachine] = field(repr=False, default=None)
+    player: Optional[Player] = field(repr=False, default=None)
 
     @property
     def buffer_estimator(self) -> BufferEstimator:
+        assert self.analyzer is not None and self.ui is not None
         return BufferEstimator(self.analyzer, self.ui)
 
     # Ground-truth shortcuts (validated against the methodology in tests)
 
     @property
     def true_stall_s(self) -> float:
+        assert self.events is not None
         return self.events.total_stall_s()
 
     @property
     def true_stall_count(self) -> int:
+        assert self.events is not None
         return self.events.stall_count()
 
     @property
     def true_startup_delay_s(self) -> float | None:
+        assert self.events is not None
         return self.events.startup_delay_s()
 
     @property
@@ -82,8 +91,12 @@ class Session:
         manifest_rewriter: Optional[ManifestRewriter] = None,
         reject_after_segments: Optional[int] = None,
         player_config: Optional[PlayerConfig] = None,
+        fast_forward: bool = False,
     ):
         self.built = built
+        self.fast_forward = fast_forward
+        self.fast_forwarded_ticks = 0
+        self.fast_forward_jumps = 0
         self.clock = Clock(dt=dt)
         self.proxy = Proxy(server)
         self.network = Network(self.clock, self.proxy, schedule, rtt_s=rtt_s)
@@ -110,6 +123,8 @@ class Session:
         """Tick the world until ``duration_s`` or the session ends."""
         dt = self.clock.dt
         while self.clock.now < duration_s - 1e-9:
+            if self.fast_forward and self._try_fast_forward(duration_s):
+                continue
             before = self.network.link.total_bytes_delivered
             self.network.advance(dt)
             radio_active = self.network.link.total_bytes_delivered > before
@@ -118,6 +133,41 @@ class Session:
             self.clock.tick()
             if self.player.ended and not self.player.scheduler.busy:
                 break
+        return self._finish()
+
+    def _try_fast_forward(self, duration_s: float) -> bool:
+        """Jump over a provably idle stretch; True if the clock moved.
+
+        Safe to skip ``network.advance`` entirely: with no transfer on
+        any connection the link moves no bytes and connection control is
+        a no-op, so the serial loop's only per-tick effects are the
+        player's playhead/UI updates (replayed exactly by
+        ``apply_noop_ticks``), RRC idle observations and clock ticks —
+        all replayed below, tick by tick, with identical arithmetic.
+        """
+        player = self.player
+        if player.state is not PlayerState.PLAYING:
+            return False
+        if player.scheduler.busy:
+            return False
+        if any(conn.transfer is not None for conn in self.network.connections):
+            return False
+        dt = self.clock.dt
+        max_ticks = int((duration_s - 1e-9 - self.clock.now) / dt)
+        if max_ticks < 2:
+            return False
+        ticks = player.idle_noop_ticks(dt, max_ticks)
+        if ticks < 2:
+            return False
+        player.apply_noop_ticks(ticks, dt)
+        for _ in range(ticks):
+            self.rrc.observe(False, dt)
+            self.clock.tick()
+        self.fast_forwarded_ticks += ticks
+        self.fast_forward_jumps += 1
+        return True
+
+    def _finish(self) -> SessionResult:
         analyzer = TrafficAnalyzer()
         analyzer.observe_flows(self.proxy.flows)
         ui = UiMonitor(self.player.ui_samples)
@@ -148,6 +198,7 @@ def run_session(
     manifest_rewriter: Optional[ManifestRewriter] = None,
     reject_after_segments: Optional[int] = None,
     content_seed: int = 11,
+    fast_forward: bool = False,
 ) -> SessionResult:
     """Convenience: build a fresh server + service and run one session."""
     if isinstance(schedule, CellularTrace):
@@ -168,5 +219,6 @@ def run_session(
         rtt_s=rtt_s,
         manifest_rewriter=manifest_rewriter,
         reject_after_segments=reject_after_segments,
+        fast_forward=fast_forward,
     )
     return session.run(duration_s)

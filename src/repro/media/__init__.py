@@ -32,6 +32,7 @@ from repro.media.catalog import (
     build_catalog,
     check_catalog_consistency,
 )
+from repro.media.cache import AssetCache, asset_cache, clear_asset_cache
 
 __all__ = [
     "SceneComplexity",
@@ -52,4 +53,7 @@ __all__ = [
     "CatalogTitle",
     "build_catalog",
     "check_catalog_consistency",
+    "AssetCache",
+    "asset_cache",
+    "clear_asset_cache",
 ]

@@ -1,0 +1,79 @@
+"""Process-local cache for encoded media assets.
+
+Encoding a 600 s ladder is by far the most expensive part of
+``build_service``, yet every run of a sweep re-encodes exactly the same
+catalogue: the encoder is deterministic in (spec fields, duration,
+content seed).  :class:`AssetCache` memoises those encodes.  Because
+:class:`~repro.media.track.MediaAsset` and everything it contains are
+frozen dataclasses, returning the *same* asset object to multiple
+sessions (or hosting it on multiple origin servers) is safe.
+
+The cache is per process: each sweep worker warms its own copy on the
+first run of each (service, duration, seed) combination and then serves
+every later repetition from memory.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Callable, Hashable
+
+from repro.media.track import MediaAsset
+
+DEFAULT_CAPACITY = 256
+
+
+class AssetCache:
+    """A small LRU of encoded assets keyed on encoding-relevant inputs."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self._entries: OrderedDict[Hashable, MediaAsset] = OrderedDict()
+        self._lock = threading.Lock()
+
+    def get_or_encode(
+        self, key: Hashable, encode: Callable[[], MediaAsset]
+    ) -> MediaAsset:
+        """Return the cached asset for ``key``, encoding it on first use."""
+        with self._lock:
+            asset = self._entries.get(key)
+            if asset is not None:
+                self.hits += 1
+                self._entries.move_to_end(key)
+                return asset
+            self.misses += 1
+        # Encode outside the lock: encodes are deterministic, so a rare
+        # duplicate encode under contention is wasted work, not a bug.
+        asset = encode()
+        with self._lock:
+            self._entries[key] = asset
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+        return asset
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+_GLOBAL_CACHE = AssetCache()
+
+
+def asset_cache() -> AssetCache:
+    """The process-wide asset cache used by ``ServiceSpec.encode_asset``."""
+    return _GLOBAL_CACHE
+
+
+def clear_asset_cache() -> None:
+    _GLOBAL_CACHE.clear()

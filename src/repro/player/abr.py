@@ -46,6 +46,15 @@ class AbrAlgorithm(Protocol):
     def select_level(self, ctx: AbrContext) -> int: ...
 
 
+# Fast-forward contract (see ``Player.idle_noop_ticks``): an algorithm
+# that implements ``buffer_wake_thresholds`` promises that, with every
+# other context field held fixed, ``select_level`` is pure and its
+# output can only change when ``ctx.buffer_s`` crosses one of the
+# returned occupancy values.  During an idle window the buffer drains
+# monotonically, so the player may skip ticks up to the next crossing.
+# Algorithms without the method are never fast-forwarded.
+
+
 def track_rate_bps(
     track: ClientTrackInfo,
     next_index: int,
@@ -155,6 +164,11 @@ class RateBasedAbr:
             return last
         return candidate
 
+    def buffer_wake_thresholds(self) -> tuple[float, ...]:
+        if self.decrease_buffer_threshold_s is None:
+            return ()
+        return (self.decrease_buffer_threshold_s,)
+
 
 class UnstableAbr:
     """Greedy per-segment selection with no hysteresis (the D1 design).
@@ -175,6 +189,9 @@ class UnstableAbr:
             return ctx.last_level if ctx.last_level is not None else 0
         budget = self.safety_factor * ctx.estimate_bps
         return _highest_affordable(ctx, budget, use_actual=True, horizon=1)
+
+    def buffer_wake_thresholds(self) -> tuple[float, ...]:
+        return ()  # never reads the buffer
 
 
 class ExoPlayerAbr:
@@ -219,3 +236,9 @@ class ExoPlayerAbr:
         if ideal < last and ctx.buffer_s > self.max_duration_for_quality_decrease_s:
             return last
         return ideal
+
+    def buffer_wake_thresholds(self) -> tuple[float, ...]:
+        return (
+            self.min_duration_for_quality_increase_s,
+            self.max_duration_for_quality_decrease_s,
+        )

@@ -266,6 +266,124 @@ class Player:
         if self.state is not PlayerState.ENDED:
             self._advance_fetching()
 
+    # -- idle-tick fast-forward ----------------------------------------------
+
+    def idle_noop_ticks(self, dt: float, max_ticks: int) -> int:
+        """How many upcoming ticks are provably no-ops for this player.
+
+        Callers must already have established that nothing is in flight
+        (``scheduler.busy`` is False and every connection is idle).  The
+        returned count is the largest window in which per-tick
+        ``advance`` calls would only move the playhead and emit UI
+        samples: no state transition, no segment-boundary crossing, no
+        pause/resume flip, no ABR output change (via the algorithm's
+        ``buffer_wake_thresholds`` contract), no replacement action (via
+        the policy's ``wake_time`` contract), no retry-block expiry and
+        no new fetch.  Unknown ABR or replacement implementations make
+        the window empty, never wrong.
+        """
+        if self.state is PlayerState.ENDED:
+            return max_ticks
+        if self.state is not PlayerState.PLAYING:
+            return 0
+        if self.manifest is None or self._replacement_inflight or self._stale_jobs:
+            return 0
+        now = self.clock.now
+        pos = self._play_pos
+        margins: list[float] = []  # seconds until a tick may stop being a no-op
+
+        margins.append(self._render_limit() - pos)
+        video_cover = self.buffers[StreamType.VIDEO].segment_covering(pos)
+        if video_cover is None:
+            return 0
+        # Crossing into the next segment emits SegmentPlayStarted and
+        # shifts every forward-index computation.
+        margins.append(video_cover.end_s - pos)
+
+        for stream in self._streams():
+            occupancy = self.buffer_s(stream)
+            if self._paused[stream]:
+                margins.append(occupancy - self.config.resume_threshold_s)
+            elif occupancy >= self.config.pause_threshold_s - 1e-6:
+                return 0  # pause flag about to flip; run it serially
+            if now < self._blocked_until[stream]:
+                # _next_job returns None before any deeper logic runs.
+                margins.append(self._blocked_until[stream] - now)
+                continue
+            tracks = self.manifest.tracks(stream)
+            if not tracks:
+                continue
+            if stream is StreamType.VIDEO:
+                thresholds = getattr(self.abr, "buffer_wake_thresholds", None)
+                if thresholds is None:
+                    return 0
+                for threshold in thresholds():
+                    if threshold is not None and occupancy > threshold:
+                        margins.append(occupancy - threshold)
+                level = self._choose_video_level()
+                if self.config.prefetch_all_indexes and any(
+                    track.segments is None for track in tracks
+                ):
+                    return 0
+            else:
+                level = 0
+            if tracks[level].segments is None:
+                return 0  # the serial path would issue a metadata fetch
+            if stream is StreamType.VIDEO:
+                wake = getattr(self.replacement, "wake_time", None)
+                if wake is None:
+                    return 0
+                wake_at = wake(
+                    ReplacementContext(
+                        now=now,
+                        buffer=self.buffers[StreamType.VIDEO],
+                        play_position_s=pos,
+                        buffer_s=occupancy,
+                        selected_level=level,
+                        last_fetched_level=self._last_selected_level,
+                    )
+                )
+                if wake_at <= now:
+                    return 0
+                margins.append(wake_at - now)
+            if not self._paused[stream] and self._next_forward_index(stream) is not None:
+                return 0  # the serial path would fetch this tick
+        ticks = max_ticks
+        for margin in margins:
+            if margin == math.inf:
+                continue
+            ticks = min(ticks, int((margin - 1e-6) / dt))
+        return max(ticks, 0)
+
+    def apply_noop_ticks(self, count: int, dt: float) -> None:
+        """Replay ``count`` idle ticks in one call (caller ticks the clock).
+
+        Bit-identical to ``count`` serial ``advance`` calls within a
+        window vetted by :meth:`idle_noop_ticks`: the position
+        accumulates by repeated ``+= dt`` and each tick's UI samples are
+        emitted against that tick's pre-advance clock value, exactly as
+        the per-tick path would.
+        """
+        if count <= 0:
+            return
+        t = self.clock.now
+        pos = self._play_pos
+        next_ui = self._next_ui_at
+        samples = self.ui_samples
+        advancing = self.state is not PlayerState.ENDED
+        for _ in range(count):
+            if advancing:
+                pos += dt
+            while t + _EPS >= next_ui:
+                samples.append(ProgressSample(at=next_ui, position_s=pos))
+                next_ui += 1.0
+            t = round(t + dt, 9)
+        self._next_ui_at = next_ui
+        if advancing:
+            self._play_pos = pos
+            for stream in self._streams():
+                self.buffers[stream].consume_until(pos)
+
     # -- playback -------------------------------------------------------------
 
     def _streams(self) -> list[StreamType]:

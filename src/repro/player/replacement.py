@@ -25,6 +25,7 @@ buffer (``allow_mid_replacement=True``).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Optional, Protocol, Union
 
@@ -63,11 +64,24 @@ class ReplacementPolicy(Protocol):
     def consider(self, ctx: ReplacementContext) -> Optional[ReplacementAction]: ...
 
 
+# Fast-forward contract (see ``Player.idle_noop_ticks``): a policy that
+# implements ``wake_time`` promises that ``consider`` returns None —
+# without mutating any policy state — for every context that evolves
+# from ``ctx`` by idle playback alone (position advances, buffer only
+# drains, ``selected_level``/``last_fetched_level`` fixed) up to but
+# excluding the returned time.  ``math.inf`` means "never during such a
+# window"; returning ``ctx.now`` means "might act immediately".
+# Policies without the method are never fast-forwarded.
+
+
 class NoReplacement:
     """Never replace (ExoPlayer v2 default; most studied services)."""
 
     def consider(self, ctx: ReplacementContext) -> Optional[ReplacementAction]:
         return None
+
+    def wake_time(self, ctx: ReplacementContext) -> float:
+        return math.inf
 
 
 class ExoV1Replacement:
@@ -110,6 +124,28 @@ class ExoV1Replacement:
                 self._last_trigger_at = ctx.now
                 return DiscardTail(from_index=segment.index)
         return None
+
+    def wake_time(self, ctx: ReplacementContext) -> float:
+        if ctx.last_fetched_level is None:
+            return math.inf
+        if ctx.selected_level <= ctx.last_fetched_level:
+            return math.inf
+        if ctx.buffer_s < self.min_buffer_s:
+            return math.inf  # the buffer only drains while idle
+        if (
+            self._last_trigger_at is not None
+            and ctx.now - self._last_trigger_at < self.cooldown_s
+        ):
+            return self._last_trigger_at + self.cooldown_s
+        # Eligibility only shrinks as the protect horizon advances, so a
+        # scan that finds nothing now finds nothing for the whole window.
+        horizon = ctx.play_position_s + self.protect_s
+        for segment in ctx.buffer.segments():
+            if segment.start_s <= horizon:
+                continue
+            if segment.level < ctx.selected_level:
+                return ctx.now
+        return math.inf
 
 
 class ImprovedReplacement:
@@ -157,3 +193,26 @@ class ImprovedReplacement:
             self._last_replacement_at = ctx.now
             return ReplaceSingle(index=segment.index, level=ctx.selected_level)
         return None
+
+    def wake_time(self, ctx: ReplacementContext) -> float:
+        if ctx.buffer_s < self.min_buffer_s:
+            return math.inf  # the buffer only drains while idle
+        if (
+            self._last_replacement_at is not None
+            and ctx.now - self._last_replacement_at < self.cooldown_s
+        ):
+            return self._last_replacement_at + self.cooldown_s
+        horizon = ctx.play_position_s + self.protect_s
+        for segment in ctx.buffer.segments():
+            if segment.start_s <= horizon:
+                continue
+            if segment.level >= ctx.selected_level:
+                continue
+            if (
+                self.quality_cap_height is not None
+                and segment.height is not None
+                and segment.height > self.quality_cap_height
+            ):
+                continue
+            return ctx.now
+        return math.inf

@@ -34,6 +34,7 @@ from typing import Optional
 from repro.manifest.dash import SegmentAddressing
 from repro.manifest.modifier import ManifestCipher
 from repro.manifest.types import Protocol
+from repro.media.cache import asset_cache
 from repro.media.content import VideoContent
 from repro.media.encoder import (
     DeclaredBitratePolicy,
@@ -161,10 +162,44 @@ class ServiceSpec:
             for rate, height in zip(self.ladder_kbps, heights)
         ]
 
+    def encoding_cache_key(self, duration_s: float, content_seed: int) -> tuple:
+        """Every input the encode depends on; nothing else may matter."""
+        return (
+            self.name,
+            self.ladder_kbps,
+            self.ladder_heights,
+            self.encoding,
+            self.declared_policy,
+            self.segment_duration_s,
+            self.separate_audio,
+            self.audio_segment_duration_s,
+            self.audio_bitrate_kbps,
+            float(duration_s),
+            content_seed,
+        )
+
     def encode_asset(
         self,
         duration_s: float = DEFAULT_DURATION_S,
         content_seed: int = DEFAULT_CONTENT_SEED,
+        *,
+        use_cache: bool = True,
+    ) -> MediaAsset:
+        """Encode the catalogue (served from the process-wide cache).
+
+        Assets are immutable, so identical (spec, duration, seed) keys
+        share one object; pass ``use_cache=False`` to force a fresh
+        encode.
+        """
+        if not use_cache:
+            return self._encode_asset_uncached(duration_s, content_seed)
+        return asset_cache().get_or_encode(
+            self.encoding_cache_key(duration_s, content_seed),
+            lambda: self._encode_asset_uncached(duration_s, content_seed),
+        )
+
+    def _encode_asset_uncached(
+        self, duration_s: float, content_seed: int
     ) -> MediaAsset:
         content = VideoContent.generate(
             content_id=f"{self.name.lower()}-title",
