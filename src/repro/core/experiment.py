@@ -58,6 +58,7 @@ def run_service_over_profiles(
     dt: float = 0.1,
     workers: int = 0,
     fast_forward: bool = False,
+    transfer_fast_forward: Optional[bool] = None,
 ) -> list[ProfileRun]:
     """Run a service over every profile (x repetitions)."""
     if profiles is None:
@@ -76,6 +77,7 @@ def run_service_over_profiles(
             dt=dt,
             trace=trace,
             fast_forward=fast_forward,
+            transfer_fast_forward=transfer_fast_forward,
         )
         for trace in profiles
         for repetition in range(repetitions)
@@ -106,6 +108,7 @@ def run_service_over_profiles(
                 dt=dt,
                 content_seed=spec.resolved_content_seed,
                 fast_forward=fast_forward,
+                transfer_fast_forward=transfer_fast_forward,
             )
             runs.append(
                 ProfileRun(

@@ -69,6 +69,9 @@ class RunSpec:
     content_seed: Optional[int] = None  # default: DEFAULT_CONTENT_SEED + repetition
     content_duration_s: Optional[float] = None
     fast_forward: bool = False
+    # None follows fast_forward; False isolates idle-only batching
+    # (benchmarks use it to attribute speedup between the two layers).
+    transfer_fast_forward: Optional[bool] = None
     trace: Optional[CellularTrace] = None  # overrides (profile_id, trace_seed)
     trace_duration_s: Optional[float] = None
     trace_seed: int = TRACE_SEED
@@ -178,6 +181,7 @@ def _session_for_spec(spec: RunSpec) -> Session:
         dt=spec.dt,
         rtt_s=spec.rtt_s,
         fast_forward=spec.fast_forward,
+        transfer_fast_forward=spec.transfer_fast_forward,
     )
 
 
@@ -195,6 +199,63 @@ def execute_run_spec_with_result(
     session = _session_for_spec(spec)
     result = session.run(spec.duration_s)
     return record_from_result(spec, result), result
+
+
+@dataclass(frozen=True)
+class TickStats:
+    """How a session's simulated ticks were actually executed.
+
+    Kept out of :class:`RunRecord` on purpose: records are compared
+    with ``==`` across serial / parallel / fast-forward backends, and
+    tick accounting is exactly the thing that differs between them.
+    """
+
+    ticks_executed: int  # full serial loop iterations
+    idle_fast_forwarded_ticks: int
+    idle_fast_forward_jumps: int
+    transfer_fast_forwarded_ticks: int
+    transfer_fast_forward_jumps: int
+
+    @property
+    def ticks_simulated(self) -> int:
+        return (
+            self.ticks_executed
+            + self.idle_fast_forwarded_ticks
+            + self.transfer_fast_forwarded_ticks
+        )
+
+    @staticmethod
+    def from_session(session: Session) -> "TickStats":
+        return TickStats(
+            ticks_executed=session.ticks_executed,
+            idle_fast_forwarded_ticks=session.fast_forwarded_ticks,
+            idle_fast_forward_jumps=session.fast_forward_jumps,
+            transfer_fast_forwarded_ticks=session.transfer_fast_forwarded_ticks,
+            transfer_fast_forward_jumps=session.transfer_fast_forward_jumps,
+        )
+
+    def __add__(self, other: "TickStats") -> "TickStats":
+        return TickStats(
+            ticks_executed=self.ticks_executed + other.ticks_executed,
+            idle_fast_forwarded_ticks=self.idle_fast_forwarded_ticks
+            + other.idle_fast_forwarded_ticks,
+            idle_fast_forward_jumps=self.idle_fast_forward_jumps
+            + other.idle_fast_forward_jumps,
+            transfer_fast_forwarded_ticks=self.transfer_fast_forwarded_ticks
+            + other.transfer_fast_forwarded_ticks,
+            transfer_fast_forward_jumps=self.transfer_fast_forward_jumps
+            + other.transfer_fast_forward_jumps,
+        )
+
+
+TickStats.ZERO = TickStats(0, 0, 0, 0, 0)
+
+
+def execute_run_spec_with_stats(spec: RunSpec) -> tuple[RunRecord, TickStats]:
+    """Like :func:`execute_run_spec`, plus tick-execution accounting."""
+    session = _session_for_spec(spec)
+    result = session.run(spec.duration_s)
+    return record_from_result(spec, result), TickStats.from_session(session)
 
 
 def default_worker_count() -> int:
@@ -284,3 +345,14 @@ class SweepRunner:
         """In-process execution that keeps live results (never parallel:
         sessions hold unpicklable object graphs)."""
         return [execute_run_spec_with_result(spec) for spec in specs]
+
+    def run_with_stats(
+        self, specs: Sequence[RunSpec]
+    ) -> list[tuple[RunRecord, TickStats]]:
+        """Like :meth:`run`, but each record carries its tick accounting."""
+        return parallel_map(
+            execute_run_spec_with_stats,
+            specs,
+            workers=self.workers,
+            chunksize=self.chunksize,
+        )

@@ -92,11 +92,20 @@ class Session:
         reject_after_segments: Optional[int] = None,
         player_config: Optional[PlayerConfig] = None,
         fast_forward: bool = False,
+        transfer_fast_forward: Optional[bool] = None,
     ):
         self.built = built
         self.fast_forward = fast_forward
+        # Transfer batching rides on the fast_forward switch; the
+        # sub-flag exists so benchmarks can isolate idle-only batching.
+        self.transfer_fast_forward = (
+            fast_forward if transfer_fast_forward is None else transfer_fast_forward
+        )
+        self.ticks_executed = 0
         self.fast_forwarded_ticks = 0
         self.fast_forward_jumps = 0
+        self.transfer_fast_forwarded_ticks = 0
+        self.transfer_fast_forward_jumps = 0
         self.clock = Clock(dt=dt)
         self.proxy = Proxy(server)
         self.network = Network(self.clock, self.proxy, schedule, rtt_s=rtt_s)
@@ -125,12 +134,17 @@ class Session:
         while self.clock.now < duration_s - 1e-9:
             if self.fast_forward and self._try_fast_forward(duration_s):
                 continue
+            if self.transfer_fast_forward and self._try_transfer_fast_forward(
+                duration_s
+            ):
+                continue
             before = self.network.link.total_bytes_delivered
             self.network.advance(dt)
             radio_active = self.network.link.total_bytes_delivered > before
             self.rrc.observe(radio_active, dt)
             self.player.advance(dt)
             self.clock.tick()
+            self.ticks_executed += 1
             if self.player.ended and not self.player.scheduler.busy:
                 break
         return self._finish()
@@ -167,6 +181,52 @@ class Session:
         self.fast_forward_jumps += 1
         return True
 
+    def _try_transfer_fast_forward(self, duration_s: float) -> bool:
+        """Batch ticks through an active download; True if the clock moved.
+
+        Every layer must certify the window first: the network that its
+        per-tick dynamics are pure delivery arithmetic
+        (``steady_for_batching``), the schedule that capacity is constant
+        (``advance_many`` clamps at ``next_change_at``), the player that
+        it will neither submit nor react (``transfer_noop_ticks``), and
+        each transfer that it cannot complete (``slow_start_horizon_ticks``
+        — advisory; ``advance_many`` re-checks exactly and stops *before*
+        any completing tick, which then runs serially).  Within such a
+        window the subsystems do not interact, so replaying them grouped
+        — network micro-loop, then player no-op ticks, then RRC + clock —
+        lands on states identical to the interleaved serial loop.
+        """
+        network = self.network
+        if not network.steady_for_batching():
+            return False
+        dt = self.clock.dt
+        max_ticks = int((duration_s - 1e-9 - self.clock.now) / dt)
+        if max_ticks < 2:
+            return False
+        ticks = self.player.transfer_noop_ticks(dt, max_ticks)
+        if ticks < 2:
+            return False
+        capacity = (
+            network.schedule.bandwidth_at(self.clock.now)
+            if network.schedule is not None
+            else network.link.capacity_bps
+        )
+        for connection in network.connections:
+            if connection.transfer is not None:
+                ticks = connection.slow_start_horizon_ticks(capacity, dt, ticks)
+                if ticks < 2:
+                    return False
+        executed, activity = network.advance_many(ticks, dt)
+        if executed <= 0:
+            return False
+        self.player.apply_noop_ticks(executed, dt)
+        for radio_active in activity:
+            self.rrc.observe(radio_active, dt)
+            self.clock.tick()
+        self.transfer_fast_forwarded_ticks += executed
+        self.transfer_fast_forward_jumps += 1
+        return True
+
     def _finish(self) -> SessionResult:
         analyzer = TrafficAnalyzer()
         analyzer.observe_flows(self.proxy.flows)
@@ -199,6 +259,7 @@ def run_session(
     reject_after_segments: Optional[int] = None,
     content_seed: int = 11,
     fast_forward: bool = False,
+    transfer_fast_forward: Optional[bool] = None,
 ) -> SessionResult:
     """Convenience: build a fresh server + service and run one session."""
     if isinstance(schedule, CellularTrace):
@@ -220,5 +281,6 @@ def run_session(
         manifest_rewriter=manifest_rewriter,
         reject_after_segments=reject_after_segments,
         fast_forward=fast_forward,
+        transfer_fast_forward=transfer_fast_forward,
     )
     return session.run(duration_s)

@@ -17,7 +17,10 @@ def water_fill(capacity: float, demands: list[float]) -> list[float]:
     """Max-min fair allocation of ``capacity`` to ``demands``.
 
     Returns one allocation per demand, never exceeding the demand, with
-    the total never exceeding capacity.
+    the total never exceeding capacity.  Float-for-float equal to the
+    naive fixed-point formulation (same shares, same subtraction order),
+    just without rebuilding the unsatisfied set from scratch each round
+    — see ``tests/test_net.py`` for the equivalence property test.
     """
     check_non_negative("capacity", capacity)
     for demand in demands:
@@ -25,16 +28,24 @@ def water_fill(capacity: float, demands: list[float]) -> list[float]:
     allocations = [0.0] * len(demands)
     unsatisfied = [i for i, demand in enumerate(demands) if demand > 0]
     remaining = capacity
+    if len(unsatisfied) == 1 and remaining > 1e-12:
+        # One active flow: it takes its demand, or the whole capacity.
+        i = unsatisfied[0]
+        allocations[i] = demands[i] if demands[i] <= remaining + 1e-12 else remaining
+        return allocations
     while unsatisfied and remaining > 1e-12:
         share = remaining / len(unsatisfied)
-        satisfied_now = [
-            i for i in unsatisfied if demands[i] - allocations[i] <= share + 1e-12
-        ]
-        if satisfied_now:
-            for i in satisfied_now:
+        still_unsatisfied = []
+        any_satisfied = False
+        for i in unsatisfied:
+            if demands[i] - allocations[i] <= share + 1e-12:
                 remaining -= demands[i] - allocations[i]
                 allocations[i] = demands[i]
-            unsatisfied = [i for i in unsatisfied if i not in set(satisfied_now)]
+                any_satisfied = True
+            else:
+                still_unsatisfied.append(i)
+        if any_satisfied:
+            unsatisfied = still_unsatisfied
         else:
             for i in unsatisfied:
                 allocations[i] += share
@@ -60,8 +71,20 @@ class BottleneckLink:
         check_positive("dt", dt)
         for connection in connections:
             connection.advance_control(dt)
-        demands = [connection.rate_cap_bps() for connection in connections]
-        allocations = water_fill(self.capacity_bps, demands)
+        if len(connections) == 1:
+            # Single connection (every HLS service): skip the list
+            # building and the water-fill call; the allocation collapses
+            # to the same min-with-tolerance water_fill computes.
+            demand = connections[0].rate_cap_bps()
+            if demand <= 0 or self.capacity_bps <= 1e-12:
+                allocations = (0.0,)
+            elif demand <= self.capacity_bps + 1e-12:
+                allocations = (demand,)
+            else:
+                allocations = (self.capacity_bps,)
+        else:
+            demands = [connection.rate_cap_bps() for connection in connections]
+            allocations = water_fill(self.capacity_bps, demands)
         completed = []
         for connection, rate_bps in zip(connections, allocations):
             num_bytes = rate_bps * dt / 8.0

@@ -10,13 +10,14 @@ see every request start and completion.
 from __future__ import annotations
 
 import itertools
+import math
 from typing import Callable, Optional, Protocol
 
 from repro.net.clock import Clock
 from repro.net.http import HttpRequest, HttpResponse, ResponsePlan
-from repro.net.link import BottleneckLink
+from repro.net.link import BottleneckLink, water_fill
 from repro.net.schedule import BandwidthSchedule
-from repro.net.tcp import TcpConnection, Transfer
+from repro.net.tcp import TcpConnection, TcpConnectionState, Transfer
 from repro.util import check_non_negative
 
 DEFAULT_HEADER_OVERHEAD_BYTES = 360
@@ -86,7 +87,9 @@ class Network:
         # A fresh TCP connection is a new flow (new ephemeral port) in a
         # packet capture, so observers see an incarnation-qualified id.
         incarnation = connection.connects + (
-            1 if connection.transfer is None and connection.state.value == "closed"
+            1
+            if connection.transfer is None
+            and connection.state is TcpConnectionState.CLOSED
             else 0
         )
         flow_id = f"{connection.conn_id}:{incarnation}"
@@ -127,3 +130,123 @@ class Network:
         for transfer in completed:
             if transfer.on_complete is not None:
                 transfer.on_complete(transfer)
+
+    def steady_for_batching(self) -> bool:
+        """True when batched ticks can replay this network exactly.
+
+        Transfer completion is the only network event the batched
+        micro-loop cannot replay (its callbacks reach the proxy and the
+        player), and :meth:`advance_many` stops itself before any
+        completing tick — so the only precondition left is that there is
+        a download to batch through.  Handshake and request-latency
+        countdowns are replayed tick-exactly inside the micro-loop.
+        """
+        return any(
+            connection.transfer is not None for connection in self.connections
+        )
+
+    def advance_many(self, max_ticks: int, dt: float) -> tuple[int, list[bool]]:
+        """Replay up to ``max_ticks`` download ticks in one call.
+
+        Requires :meth:`steady_for_batching`.  Executes the exact
+        per-tick arithmetic of :meth:`advance` — the same
+        ``advance_control`` countdowns, same ``rate * dt / 8`` quanta,
+        same delivery order, same float accumulation on
+        ``delivered_bytes`` / ``total_bytes_received`` /
+        ``total_bytes_delivered`` — while hoisting everything that is
+        provably constant out of the loop: the schedule lookup (the
+        window never crosses ``next_change_at``) and the completion
+        callback scan (the loop stops *before* any tick that would
+        complete a transfer, leaving it to the serial path; control
+        state mutated while planning that tick is restored, so the
+        serial tick re-runs it identically).
+
+        Returns ``(ticks_executed, per_tick_radio_activity)``; the clock
+        is NOT advanced — the caller replays clock/RRC/player effects.
+        """
+        link = self.link
+        t = self.clock.now
+        if self.schedule is not None:
+            change_at = self.schedule.next_change_at(t)
+            if change_at != math.inf:
+                # Largest n with every tick start t + k*dt (k < n)
+                # strictly before the change.
+                max_ticks = min(max_ticks, int((change_at - t - 1e-9) / dt) + 1)
+            capacity = self.schedule.bandwidth_at(t)
+        else:
+            capacity = link.capacity_bps
+        connections = self.connections
+        executed = 0
+        activity: list[bool] = []
+        while executed < max_ticks:
+            saved = [
+                (
+                    c.state,
+                    c._handshake_remaining_s,
+                    c._request_latency_remaining_s,
+                )
+                for c in connections
+            ]
+            for connection in connections:
+                connection.advance_control(dt)
+            if len(connections) == 1:
+                # Mirror of the single-connection fast path in
+                # BottleneckLink.advance.
+                demand = connections[0].rate_cap_bps()
+                if demand <= 0 or capacity <= 1e-12:
+                    allocations: tuple[float, ...] | list[float] = (0.0,)
+                elif demand <= capacity + 1e-12:
+                    allocations = (demand,)
+                else:
+                    allocations = (capacity,)
+            else:
+                demands = [c.rate_cap_bps() for c in connections]
+                allocations = water_fill(capacity, demands)
+            # Plan the tick; commit only if no transfer would complete.
+            plan = []
+            completing = False
+            for connection, rate_bps in zip(connections, allocations):
+                num_bytes = rate_bps * dt / 8.0
+                if num_bytes <= 0:
+                    continue
+                transfer = connection.transfer
+                delivered = min(num_bytes, transfer.remaining_bytes)
+                if (
+                    transfer.delivered_bytes + delivered
+                    >= transfer.total_bytes - 1e-6
+                ):
+                    completing = True
+                    break
+                plan.append((connection, transfer, delivered))
+            if completing:
+                # advance_control already ran for this aborted tick;
+                # put the countdowns back so the serial tick that takes
+                # over replays them identically.
+                for connection, (state, handshake, latency) in zip(
+                    connections, saved
+                ):
+                    connection.state = state
+                    connection._handshake_remaining_s = handshake
+                    connection._request_latency_remaining_s = latency
+                break
+            before_link = link.total_bytes_delivered
+            for connection, transfer, delivered in plan:
+                if transfer.first_byte_at is None:
+                    transfer.first_byte_at = t
+                transfer.delivered_bytes += delivered
+                before = connection.total_bytes_received
+                connection.total_bytes_received = before + delivered
+                connection.cwnd_bytes = min(
+                    connection.cwnd_bytes + delivered, connection.max_cwnd_bytes
+                )
+                link.total_bytes_delivered += (
+                    connection.total_bytes_received - before
+                )
+            activity.append(link.total_bytes_delivered > before_link)
+            t = round(t + dt, 9)
+            executed += 1
+        if executed and self.schedule is not None:
+            # The serial loop re-asserts the (identical) capacity every
+            # tick; leave the link in the same state.
+            link.set_capacity(capacity)
+        return executed, activity

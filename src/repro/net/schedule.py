@@ -7,6 +7,8 @@ recorded cellular traces replayed for apples-to-apples QoE comparisons.
 
 from __future__ import annotations
 
+import math
+from bisect import bisect_right
 from dataclasses import dataclass
 from typing import Protocol, Sequence, runtime_checkable
 
@@ -21,6 +23,17 @@ class BandwidthSchedule(Protocol):
         """Shaped downlink capacity in bits per second at ``time_s``."""
         ...
 
+    def next_change_at(self, time_s: float) -> float:
+        """Earliest ``t > time_s`` at which the rate may differ.
+
+        Contract for the fast-forward machinery: ``bandwidth_at`` is
+        constant over ``[time_s, next_change_at(time_s))``.  Returning
+        ``math.inf`` promises the rate never changes again; a
+        conservative implementation may return any smaller time, at the
+        cost of shorter batched windows.
+        """
+        ...
+
 
 @dataclass(frozen=True)
 class ConstantSchedule:
@@ -33,6 +46,9 @@ class ConstantSchedule:
 
     def bandwidth_at(self, time_s: float) -> float:
         return self.rate_bps
+
+    def next_change_at(self, time_s: float) -> float:
+        return math.inf
 
 
 @dataclass(frozen=True)
@@ -55,6 +71,7 @@ class StepSchedule:
             raise ValueError("first step must start at time 0")
         for _, rate in self.steps:
             check_positive("rate_bps", rate)
+        object.__setattr__(self, "_starts", tuple(starts))
 
     @classmethod
     def single_step(
@@ -65,13 +82,15 @@ class StepSchedule:
 
     def bandwidth_at(self, time_s: float) -> float:
         check_non_negative("time_s", time_s)
-        rate = self.steps[0][1]
-        for start, step_rate in self.steps:
-            if time_s >= start:
-                rate = step_rate
-            else:
-                break
-        return rate
+        # bisect_right lands after the last start <= time_s; starts[0] is
+        # 0.0 and time_s >= 0, so the index is always >= 1.
+        return self.steps[bisect_right(self._starts, time_s) - 1][1]
+
+    def next_change_at(self, time_s: float) -> float:
+        index = bisect_right(self._starts, time_s)
+        if index >= len(self._starts):
+            return math.inf
+        return self._starts[index]
 
 
 @dataclass(frozen=True)
@@ -87,6 +106,12 @@ class TraceSchedule:
         check_positive("sample_interval_s", self.sample_interval_s)
         for sample in self.samples_bps:
             check_non_negative("sample_bps", sample)
+        # Last-hit lookup cache: sessions query bandwidth_at once per
+        # 0.1 s tick against 1 s samples, so ~90% of lookups land in the
+        # sample window of the previous one.  Cached on the instance
+        # (not a field: equality, repr and pickling see only the data).
+        object.__setattr__(self, "_hit_key", -1)
+        object.__setattr__(self, "_hit_rate", 0.0)
 
     @classmethod
     def from_samples(cls, samples: Sequence[float], interval_s: float = 1.0):
@@ -102,5 +127,15 @@ class TraceSchedule:
 
     def bandwidth_at(self, time_s: float) -> float:
         check_non_negative("time_s", time_s)
-        index = int(time_s / self.sample_interval_s) % len(self.samples_bps)
-        return self.samples_bps[index]
+        key = int(time_s / self.sample_interval_s)
+        if key != self._hit_key:
+            object.__setattr__(self, "_hit_key", key)
+            object.__setattr__(
+                self, "_hit_rate", self.samples_bps[key % len(self.samples_bps)]
+            )
+        return self._hit_rate
+
+    def next_change_at(self, time_s: float) -> float:
+        # The rate may change at every sample boundary, forever (the
+        # trace repeats), so the next boundary after ``time_s``.
+        return (int(time_s / self.sample_interval_s) + 1) * self.sample_interval_s

@@ -122,6 +122,20 @@ class TcpConnection:
         """Established (or establishable) and idle."""
         return self._transfer is None
 
+    @property
+    def in_steady_transfer(self) -> bool:
+        """Transferring, past handshake and request latency.
+
+        In this phase ``advance_control`` is a no-op and the per-tick
+        dynamics reduce to pure delivery arithmetic, which is what makes
+        the connection eligible for batched (fast-forwarded) ticks.
+        """
+        return (
+            self._transfer is not None
+            and self.state is TcpConnectionState.ESTABLISHED
+            and not self._request_latency_remaining_s > 0
+        )
+
     def start_transfer(self, transfer: Transfer, now: float) -> None:
         """Queue ``transfer`` on this connection.
 
@@ -165,6 +179,56 @@ class TcpConnection:
             self._request_latency_remaining_s -= dt
             if self._request_latency_remaining_s <= 1e-9:
                 self._request_latency_remaining_s = 0.0
+
+    def slow_start_horizon_ticks(
+        self, capacity_bps: float, dt: float, max_ticks: int
+    ) -> int:
+        """Ticks this transfer provably stays incomplete, in closed form.
+
+        Assumes the connection is in a steady transfer and receives at
+        most ``min(cwnd / rtt, capacity)`` each tick (any max-min fair
+        share is bounded by that), so the estimate is conservative under
+        link sharing.  Slow start makes the window roughly geometric —
+        ``cwnd`` grows by the delivered bytes each tick — so the ramp to
+        either the capacity limit or ``max_cwnd_bytes`` takes only a
+        handful of iterations; once the per-tick quantum is constant the
+        remaining tick count is a single division.  The result is
+        advisory and deliberately biased one tick HIGH: the batched
+        replay checks completion exactly before every tick it commits
+        and stops itself, so overshooting costs nothing while
+        undershooting would strand batchable ticks on the serial path.
+        """
+        transfer = self._transfer
+        if transfer is None or max_ticks <= 0:
+            return 0
+        if capacity_bps <= 1e-12:
+            return max_ticks  # nothing moves; the transfer cannot end
+        remaining = transfer.remaining_bytes
+        cwnd = self.cwnd_bytes
+        ticks = 0
+        while ticks < max_ticks:
+            demand = cwnd * 8.0 / self.rtt_s
+            if demand > capacity_bps + 1e-12:
+                # Capacity-limited, and the demand only grows: the
+                # quantum is constant from here on.  Finish with one
+                # division.
+                chunk = capacity_bps * dt / 8.0
+                more = int((remaining - 1e-6) / chunk) + 1
+                return min(max_ticks, ticks + more)
+            chunk = demand * dt / 8.0
+            cwnd_next = min(cwnd + chunk, float(self.max_cwnd_bytes))
+            if cwnd_next == cwnd:
+                # cwnd capped below capacity: constant quantum too.
+                more = int((remaining - 1e-6) / chunk) + 1
+                return min(max_ticks, ticks + more)
+            if remaining - chunk <= 1e-6:
+                # The next tick may complete the transfer; offer it and
+                # let the exact replay check decide.
+                return min(max_ticks, ticks + 1)
+            remaining -= chunk
+            cwnd = cwnd_next
+            ticks += 1
+        return ticks
 
     def deliver(self, num_bytes: float, now: float) -> Transfer | None:
         """Deliver payload bytes; returns the transfer if it completed."""

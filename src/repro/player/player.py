@@ -288,13 +288,17 @@ class Player:
             return 0
         if self.manifest is None or self._replacement_inflight or self._stale_jobs:
             return 0
-        now = self.clock.now
         pos = self._play_pos
         margins: list[float] = []  # seconds until a tick may stop being a no-op
 
         margins.append(self._render_limit() - pos)
         video_cover = self.buffers[StreamType.VIDEO].segment_covering(pos)
         if video_cover is None:
+            return 0
+        if video_cover.index != self._current_play_index:
+            # A SegmentPlayStarted emission is due this very tick (e.g.
+            # right after a rebuffer exit, which flips to PLAYING without
+            # noting the play index); run it serially.
             return 0
         # Crossing into the next segment emits SegmentPlayStarted and
         # shifts every forward-index computation.
@@ -306,48 +310,69 @@ class Player:
                 margins.append(occupancy - self.config.resume_threshold_s)
             elif occupancy >= self.config.pause_threshold_s - 1e-6:
                 return 0  # pause flag about to flip; run it serially
-            if now < self._blocked_until[stream]:
-                # _next_job returns None before any deeper logic runs.
-                margins.append(self._blocked_until[stream] - now)
-                continue
-            tracks = self.manifest.tracks(stream)
-            if not tracks:
-                continue
-            if stream is StreamType.VIDEO:
-                thresholds = getattr(self.abr, "buffer_wake_thresholds", None)
-                if thresholds is None:
-                    return 0
-                for threshold in thresholds():
-                    if threshold is not None and occupancy > threshold:
-                        margins.append(occupancy - threshold)
-                level = self._choose_video_level()
-                if self.config.prefetch_all_indexes and any(
-                    track.segments is None for track in tracks
-                ):
-                    return 0
-            else:
-                level = 0
-            if tracks[level].segments is None:
-                return 0  # the serial path would issue a metadata fetch
-            if stream is StreamType.VIDEO:
-                wake = getattr(self.replacement, "wake_time", None)
-                if wake is None:
-                    return 0
-                wake_at = wake(
-                    ReplacementContext(
-                        now=now,
-                        buffer=self.buffers[StreamType.VIDEO],
-                        play_position_s=pos,
-                        buffer_s=occupancy,
-                        selected_level=level,
-                        last_fetched_level=self._last_selected_level,
-                    )
+            if not self._fetch_gate_margins(stream, occupancy, margins):
+                return 0
+        return self._ticks_within(margins, dt, max_ticks)
+
+    def _fetch_gate_margins(
+        self, stream: StreamType, occupancy: float, margins: list[float]
+    ) -> bool:
+        """Margins before ``_next_job(stream)`` could return a job.
+
+        Appends to ``margins`` the times (from now) at which the serial
+        ``_next_job`` might stop returning None, assuming only playback
+        progresses (position advances, buffers drain, nothing completes).
+        Returns False when a job might be produced this very tick — the
+        caller must then fall back to serial execution.
+        """
+        now = self.clock.now
+        if now < self._blocked_until[stream]:
+            # _next_job returns None before any deeper logic runs.
+            margins.append(self._blocked_until[stream] - now)
+            return True
+        assert self.manifest is not None
+        tracks = self.manifest.tracks(stream)
+        if not tracks:
+            return True
+        if stream is StreamType.VIDEO:
+            thresholds = getattr(self.abr, "buffer_wake_thresholds", None)
+            if thresholds is None:
+                return False
+            for threshold in thresholds():
+                if threshold is not None and occupancy > threshold:
+                    margins.append(occupancy - threshold)
+            level = self._choose_video_level()
+            if self.config.prefetch_all_indexes and any(
+                track.segments is None for track in tracks
+            ):
+                return False
+        else:
+            level = 0
+        if tracks[level].segments is None:
+            return False  # the serial path would issue a metadata fetch
+        if stream is StreamType.VIDEO and not self._replacement_inflight:
+            wake = getattr(self.replacement, "wake_time", None)
+            if wake is None:
+                return False
+            wake_at = wake(
+                ReplacementContext(
+                    now=now,
+                    buffer=self.buffers[StreamType.VIDEO],
+                    play_position_s=self._play_pos,
+                    buffer_s=occupancy,
+                    selected_level=level,
+                    last_fetched_level=self._last_selected_level,
                 )
-                if wake_at <= now:
-                    return 0
-                margins.append(wake_at - now)
-            if not self._paused[stream] and self._next_forward_index(stream) is not None:
-                return 0  # the serial path would fetch this tick
+            )
+            if wake_at <= now:
+                return False
+            margins.append(wake_at - now)
+        if not self._paused[stream] and self._next_forward_index(stream) is not None:
+            return False  # the serial path would fetch this tick
+        return True
+
+    @staticmethod
+    def _ticks_within(margins: list[float], dt: float, max_ticks: int) -> int:
         ticks = max_ticks
         for margin in margins:
             if margin == math.inf:
@@ -355,14 +380,78 @@ class Player:
             ticks = min(ticks, int((margin - 1e-6) / dt))
         return max(ticks, 0)
 
+    def transfer_noop_ticks(self, dt: float, max_ticks: int) -> int:
+        """How many ticks are player no-ops while downloads are in flight.
+
+        The download-phase sibling of :meth:`idle_noop_ticks`: the caller
+        guarantees at least one transfer is in flight and that no
+        transfer will complete inside the returned window (the network
+        applies its own horizon and stops before any completion).  Under
+        that premise buffers never gain content, so the only per-tick
+        player effects are the playhead (when PLAYING) and the 1 Hz UI
+        samples; this returns the largest tick count for which that
+        provably holds — no state transition, no segment-boundary
+        crossing, no pause/resume flip, no scheduler submission — or 0
+        when the current tick might do more.
+        """
+        if self.state is PlayerState.ENDED:
+            return max_ticks  # advance() only emits UI samples
+        if self.state is PlayerState.INIT:
+            # The in-flight transfer is the manifest fetch: playback
+            # waits for it, and _advance_fetching re-requests nothing.
+            if self.manifest is not None or not self._manifest_requested:
+                return 0
+            return max_ticks
+        if self.manifest is None:
+            return 0
+        if not getattr(self.scheduler, "slots_static_while_busy", False):
+            return 0
+        pos = self._play_pos
+        margins: list[float] = []
+        playing = self.state is PlayerState.PLAYING
+        if playing:
+            margins.append(self._render_limit() - pos)
+            video_cover = self.buffers[StreamType.VIDEO].segment_covering(pos)
+            if video_cover is None:
+                return 0
+            if video_cover.index != self._current_play_index:
+                return 0  # SegmentPlayStarted due this tick; run serially
+            margins.append(video_cover.end_s - pos)
+        elif self.state is PlayerState.BUFFERING:
+            # Readiness depends only on buffer contents (static in the
+            # window) — if it holds now the transition runs this tick.
+            if self._startup_ready():
+                return 0
+        else:  # REBUFFERING
+            if self._rebuffer_ready():
+                return 0
+        for stream in self._streams():
+            occupancy = self.buffer_s(stream)
+            if self._paused[stream]:
+                if playing:
+                    margins.append(occupancy - self.config.resume_threshold_s)
+                elif occupancy <= self.config.resume_threshold_s:
+                    return 0  # resume flip fires this tick
+            elif occupancy >= self.config.pause_threshold_s - 1e-6:
+                return 0  # pause flag about to flip; run it serially
+            if self.scheduler.slots_for(stream) <= 0:
+                # _next_job is unreachable; with no completions in the
+                # window the slot count cannot grow, so it stays so.
+                continue
+            if not self._fetch_gate_margins(stream, occupancy, margins):
+                return 0
+        return self._ticks_within(margins, dt, max_ticks)
+
     def apply_noop_ticks(self, count: int, dt: float) -> None:
-        """Replay ``count`` idle ticks in one call (caller ticks the clock).
+        """Replay ``count`` no-op ticks in one call (caller ticks the clock).
 
         Bit-identical to ``count`` serial ``advance`` calls within a
-        window vetted by :meth:`idle_noop_ticks`: the position
-        accumulates by repeated ``+= dt`` and each tick's UI samples are
-        emitted against that tick's pre-advance clock value, exactly as
-        the per-tick path would.
+        window vetted by :meth:`idle_noop_ticks` or
+        :meth:`transfer_noop_ticks`: when PLAYING the position
+        accumulates by repeated ``+= dt`` (otherwise it holds still,
+        exactly as ``_advance_playback`` would) and each tick's UI
+        samples are emitted against that tick's pre-advance clock value,
+        exactly as the per-tick path would.
         """
         if count <= 0:
             return
@@ -370,7 +459,7 @@ class Player:
         pos = self._play_pos
         next_ui = self._next_ui_at
         samples = self.ui_samples
-        advancing = self.state is not PlayerState.ENDED
+        advancing = self.state is PlayerState.PLAYING
         for _ in range(count):
             if advancing:
                 pos += dt

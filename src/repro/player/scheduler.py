@@ -85,6 +85,15 @@ class FetchJob:
 class Scheduler:
     """Base class: connection bookkeeping and job completion plumbing."""
 
+    # Fast-forward contract (see ``Player.transfer_noop_ticks``): a
+    # scheduler with this flag promises that ``slots_for`` can only
+    # change when a job is submitted or a transfer completes — never
+    # from the mere passage of time.  All built-in schedulers qualify
+    # (slots derive from in-flight counts and free connections); a
+    # custom scheduler that frees capacity on a timer must override
+    # this with False, which disables download-phase tick batching.
+    slots_static_while_busy = True
+
     def __init__(self, network: Network, *, persistent: bool = True):
         self.network = network
         self.persistent = persistent

@@ -57,6 +57,78 @@ class TestSchedules:
         with pytest.raises(ValueError):
             TraceSchedule(samples_bps=())
 
+    def test_step_bisect_matches_linear_scan(self):
+        steps = ((0.0, 1.0), (3.5, 2.0), (3.5, 3.0), (10.0, 4.0), (27.3, 5.0))
+        schedule = StepSchedule(steps=steps)
+        for t in [0.0, 0.1, 3.4999, 3.5, 3.6, 9.999, 10.0, 27.29, 27.3, 1e6]:
+            expected = steps[0][1]
+            for start, rate in steps:
+                if start <= t:
+                    expected = rate
+            assert schedule.bandwidth_at(t) == expected, t
+
+    def test_trace_cache_transparent(self):
+        import copy
+        import pickle
+
+        schedule = TraceSchedule.from_samples([1.0, 2.0, 3.0])
+        naive = lambda t: schedule.samples_bps[int(t) % 3]  # noqa: E731
+        for t in [0.0, 0.5, 0.5, 1.0, 0.9, 2.99, 3.0, 47.2]:
+            assert schedule.bandwidth_at(t) == naive(t), t
+        # The last-hit cache must not leak into the value semantics.
+        assert schedule == TraceSchedule.from_samples([1.0, 2.0, 3.0])
+        clone = pickle.loads(pickle.dumps(schedule))
+        assert clone == schedule
+        assert clone.bandwidth_at(1.5) == 2.0
+        assert copy.deepcopy(schedule).bandwidth_at(2.5) == 3.0
+
+
+class TestNextChangeAt:
+    """The fast-forward contract: rate constant on [t, next_change_at(t))."""
+
+    def test_constant_never_changes(self):
+        import math
+
+        assert ConstantSchedule(mbps(3)).next_change_at(12.3) == math.inf
+
+    def test_step_boundaries(self):
+        import math
+
+        schedule = StepSchedule.single_step(mbps(5), mbps(1), 100.0)
+        assert schedule.next_change_at(0.0) == 100.0
+        assert schedule.next_change_at(99.9) == 100.0
+        assert schedule.next_change_at(100.0) == math.inf
+        assert schedule.next_change_at(200.0) == math.inf
+
+    def test_trace_sample_boundaries(self):
+        schedule = TraceSchedule.from_samples([1.0, 2.0, 3.0])
+        assert schedule.next_change_at(0.0) == 1.0
+        assert schedule.next_change_at(0.95) == 1.0
+        assert schedule.next_change_at(1.0) == 2.0
+        assert schedule.next_change_at(3.0) == 4.0  # repeats forever
+
+    @pytest.mark.parametrize(
+        "schedule",
+        [
+            ConstantSchedule(mbps(4)),
+            StepSchedule(steps=((0.0, mbps(6)), (7.35, mbps(1)), (13.0, mbps(4)))),
+            TraceSchedule.from_samples([3e6, 1e6, 6e6, 2e6], interval_s=1.0),
+        ],
+    )
+    def test_contract_rate_constant_within_window(self, schedule):
+        dt = 0.1
+        t = 0.0
+        for _ in range(300):
+            change_at = schedule.next_change_at(t)
+            assert change_at > t
+            rate = schedule.bandwidth_at(t)
+            # Probe the last tick start strictly inside the window — the
+            # point the batched loop actually reaches.
+            last = min(change_at - 1e-9, t + 60.0)
+            ticks = int((last - t) / dt)
+            assert schedule.bandwidth_at(round(t + ticks * dt, 9)) == rate
+            t = round(t + dt, 9)
+
 
 class TestWaterFill:
     def test_simple_split(self):
@@ -80,6 +152,69 @@ class TestWaterFill:
 
     def test_empty(self):
         assert water_fill(10.0, []) == []
+
+
+def _water_fill_reference(capacity, demands):
+    """The pre-optimization fixed-point formulation, kept verbatim.
+
+    The production ``water_fill`` must stay float-for-float equal to
+    this: every fast-forwarded session replays allocations computed by
+    one against ticks originally computed by the other.
+    """
+    allocations = [0.0] * len(demands)
+    unsatisfied = [i for i, demand in enumerate(demands) if demand > 0]
+    remaining = capacity
+    while unsatisfied and remaining > 1e-12:
+        share = remaining / len(unsatisfied)
+        satisfied_now = [
+            i for i in unsatisfied if demands[i] - allocations[i] <= share + 1e-12
+        ]
+        if satisfied_now:
+            for i in satisfied_now:
+                remaining -= demands[i] - allocations[i]
+                allocations[i] = demands[i]
+            unsatisfied = [i for i in unsatisfied if i not in set(satisfied_now)]
+        else:
+            for i in unsatisfied:
+                allocations[i] += share
+            remaining = 0.0
+    return allocations
+
+
+class TestWaterFillEquivalence:
+    def test_hand_picked_cases(self):
+        cases = [
+            (0.0, [1.0, 2.0]),
+            (5e-13, [1.0]),
+            (10.0, [10.0]),
+            (10.0, [0.0, 7.0, 0.0]),
+            (10.0, [3.0, 3.0, 3.0, 3.0]),
+            (7.0, [1.0, 9.0, 2.0, 0.0, 5.0]),
+            (1e9, [1e-12, 1e9, 2e9]),
+            (mbps(6), [292000.0, 292000.0, 292000.0]),  # D3 split demands
+        ]
+        for capacity, demands in cases:
+            assert water_fill(capacity, demands) == _water_fill_reference(
+                capacity, demands
+            ), (capacity, demands)
+
+    def test_property_equal_to_reference(self):
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        rates = st.one_of(
+            st.floats(min_value=0.0, max_value=1e10, allow_nan=False),
+            st.sampled_from([0.0, 1e-13, 1e-12, 1168000.0, 2.5e7]),
+        )
+
+        @settings(max_examples=300, deadline=None)
+        @given(capacity=rates, demands=st.lists(rates, max_size=8))
+        def check(capacity, demands):
+            assert water_fill(capacity, demands) == _water_fill_reference(
+                capacity, demands
+            )
+
+        check()
 
 
 class TestTcpConnection:
@@ -165,6 +300,18 @@ class TestTcpConnection:
         with pytest.raises(RuntimeError):
             conn.start_transfer(Transfer(total_bytes=10), now=0.0)
 
+    def test_in_steady_transfer_phases(self):
+        conn = TcpConnection("c", rtt_s=0.05)
+        assert not conn.in_steady_transfer  # closed, idle
+        conn.start_transfer(Transfer(total_bytes=1000), now=0.0)
+        assert not conn.in_steady_transfer  # handshaking
+        conn.advance_control(0.1)
+        assert not conn.in_steady_transfer  # request latency pending
+        conn.advance_control(0.1)
+        assert conn.in_steady_transfer
+        conn.deliver(1000, now=0.2)
+        assert not conn.in_steady_transfer  # transfer done
+
     def test_close_with_transfer_fails(self):
         conn = TcpConnection("c")
         conn.start_transfer(Transfer(total_bytes=10), now=0.0)
@@ -213,6 +360,67 @@ class TestBottleneckLink:
         completed = link.advance([conn], dt=0.1, now=1.0)
         assert len(completed) == 1
         assert completed[0].complete
+
+
+class TestSlowStartHorizon:
+    def _steady(self, total_bytes, *, cwnd=None, max_cwnd=None):
+        kwargs = {"max_cwnd_bytes": max_cwnd} if max_cwnd else {}
+        conn = TcpConnection("c", rtt_s=0.05, **kwargs)
+        conn.start_transfer(Transfer(total_bytes=total_bytes), now=0.0)
+        conn.advance_control(0.05)
+        conn.advance_control(0.05)
+        if cwnd is not None:
+            conn.cwnd_bytes = float(cwnd)
+        return conn
+
+    def test_no_transfer_is_zero(self):
+        conn = TcpConnection("c")
+        assert conn.slow_start_horizon_ticks(mbps(5), 0.1, 100) == 0
+
+    def test_zero_capacity_never_completes(self):
+        conn = self._steady(100_000)
+        assert conn.slow_start_horizon_ticks(0.0, 0.1, 750) == 750
+
+    def test_clamped_by_max_ticks(self):
+        conn = self._steady(10**9)
+        assert conn.slow_start_horizon_ticks(mbps(1), 0.1, 7) == 7
+
+    def test_never_undershoots_completion(self):
+        """Bias-high contract: horizon >= the count of non-completing ticks.
+
+        The batched replay stops itself exactly, so overshooting is
+        free; undershooting would strand batchable ticks on the serial
+        path.  Checked against an exact serial single-connection replay
+        across slow-start, capacity-limited and cwnd-capped regimes.
+        """
+        dt = 0.1
+        for capacity in [mbps(0.3), mbps(2), mbps(40), 1e9]:
+            for total in [2_000, 170_000, 2_500_000]:
+                for cwnd in [None, 40_000, 4 * 1024 * 1024]:
+                    conn = self._steady(total, cwnd=cwnd)
+                    horizon = conn.slow_start_horizon_ticks(capacity, dt, 10_000)
+                    safe_ticks = 0
+                    while True:
+                        demand = conn.rate_cap_bps()
+                        if capacity <= 1e-12:
+                            alloc = 0.0
+                        elif demand <= capacity + 1e-12:
+                            alloc = demand
+                        else:
+                            alloc = capacity
+                        num_bytes = alloc * dt / 8.0
+                        transfer = conn.transfer
+                        delivered = min(num_bytes, transfer.remaining_bytes)
+                        if (
+                            transfer.delivered_bytes + delivered
+                            >= transfer.total_bytes - 1e-6
+                        ):
+                            break
+                        conn.deliver(num_bytes, now=0.0)
+                        safe_ticks += 1
+                    label = (capacity, total, cwnd)
+                    assert horizon >= safe_ticks, label
+                    assert horizon <= safe_ticks + 2, label
 
 
 class _EchoServer:
@@ -279,6 +487,86 @@ class TestNetwork:
         conn = network.new_connection()
         network.drop_connection(conn)
         assert conn not in network.connections
+
+
+class _SizedServer:
+    def __init__(self, size_bytes):
+        self.size_bytes = size_bytes
+
+    def handle(self, request):
+        return ResponsePlan.ok_opaque(self.size_bytes)
+
+
+class TestAdvanceMany:
+    """Batched delivery must replay the serial loop bit-for-bit."""
+
+    def _session_pair(self, size_bytes, n_conns):
+        schedule = TraceSchedule.from_samples([mbps(4), mbps(1), mbps(6)])
+        nets = []
+        for _ in range(2):
+            clock = Clock(dt=0.1)
+            network = Network(clock, _SizedServer(size_bytes), schedule)
+            done = []
+            for i in range(n_conns):
+                conn = network.new_connection()
+                network.request(
+                    conn,
+                    HttpRequest(url=f"/seg{i}", method=HttpMethod.GET),
+                    done.append,
+                )
+            nets.append((clock, network, done))
+        return nets
+
+    @pytest.mark.parametrize(
+        "size_bytes,n_conns", [(5_000_000, 1), (5_000_000, 3), (100_000, 2)]
+    )
+    def test_matches_serial_exactly(self, size_bytes, n_conns):
+        (clock_a, net_a, done_a), (clock_b, net_b, done_b) = self._session_pair(
+            size_bytes, n_conns
+        )
+        n = 100
+        serial_activity = []
+        for _ in range(n):
+            before = net_a.link.total_bytes_delivered
+            net_a.advance(0.1)
+            serial_activity.append(net_a.link.total_bytes_delivered > before)
+            clock_a.tick()
+        batched_activity = []
+        ticks = 0
+        while ticks < n:
+            executed, activity = net_b.advance_many(n - ticks, 0.1)
+            if executed == 0:
+                before = net_b.link.total_bytes_delivered
+                net_b.advance(0.1)
+                batched_activity.append(
+                    net_b.link.total_bytes_delivered > before
+                )
+                clock_b.tick()
+                ticks += 1
+                continue
+            batched_activity.extend(activity)
+            for _ in range(executed):
+                clock_b.tick()
+            ticks += executed
+        assert batched_activity == serial_activity
+        assert net_b.link.total_bytes_delivered == net_a.link.total_bytes_delivered
+        assert net_b.link.capacity_bps == net_a.link.capacity_bps
+        assert len(done_a) == len(done_b)
+        for response_a, response_b in zip(done_a, done_b):
+            assert response_a.completed_at == response_b.completed_at
+            assert response_a.first_byte_at == response_b.first_byte_at
+        for conn_a, conn_b in zip(net_a.connections, net_b.connections):
+            assert conn_b.cwnd_bytes == conn_a.cwnd_bytes
+            assert conn_b.total_bytes_received == conn_a.total_bytes_received
+            assert (conn_b.transfer is None) == (conn_a.transfer is None)
+            if conn_a.transfer is not None:
+                assert (
+                    conn_b.transfer.delivered_bytes
+                    == conn_a.transfer.delivered_bytes
+                )
+                assert (
+                    conn_b.transfer.first_byte_at == conn_a.transfer.first_byte_at
+                )
 
 
 class TestHttpTypes:
