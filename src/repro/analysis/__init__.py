@@ -31,7 +31,14 @@ from repro.analysis.serialize import (
     capture_to_json,
     reanalyze,
 )
-from repro.analysis.faults import FlakyOriginHandler
+from repro.analysis.faults import (
+    ErrorBurst,
+    FaultInjectingHandler,
+    FaultSpec,
+    FlakyOriginHandler,
+    SeededErrors,
+    SeededTruncation,
+)
 from repro.analysis.report import render_comparison, render_qoe_report
 from repro.analysis.timelines import SessionTimelines, extract_timelines
 
@@ -55,6 +62,11 @@ __all__ = [
     "capture_to_json",
     "reanalyze",
     "FlakyOriginHandler",
+    "ErrorBurst",
+    "FaultInjectingHandler",
+    "FaultSpec",
+    "SeededErrors",
+    "SeededTruncation",
     "render_comparison",
     "render_qoe_report",
     "SessionTimelines",

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.net.http import (
+    ContentKind,
     HttpRequest,
     HttpResponse,
     HttpStatus,
@@ -33,6 +34,8 @@ class FlowRecord:
     size_bytes: int | None = None
     text: Optional[str] = None
     data: Optional[bytes] = None
+    truncated: bool = False
+    aborted: bool = False
 
     @property
     def complete(self) -> bool:
@@ -40,6 +43,8 @@ class FlowRecord:
 
     @property
     def success(self) -> bool:
+        if self.truncated or self.aborted:
+            return False
         return self.status in (HttpStatus.OK, HttpStatus.PARTIAL_CONTENT)
 
     @property
@@ -101,7 +106,11 @@ class Proxy:
             self.rejected_count += 1
             return ResponsePlan.error(HttpStatus.FORBIDDEN)
         plan = self.origin.handle(request)
-        if plan.text is not None and self.manifest_rewriter is not None:
+        if (
+            plan.content is ContentKind.MANIFEST
+            and plan.text is not None
+            and self.manifest_rewriter is not None
+        ):
             rewritten = self.manifest_rewriter(plan.text, request.url)
             if rewritten != plan.text:
                 plan = ResponsePlan.ok_text(rewritten)
@@ -132,6 +141,8 @@ class Proxy:
         flow.size_bytes = response.size_bytes
         flow.text = response.text
         flow.data = response.data
+        flow.truncated = response.truncated
+        flow.aborted = response.aborted
         for listener in self.flow_listeners:
             listener(flow)
 

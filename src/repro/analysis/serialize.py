@@ -35,6 +35,8 @@ def flow_to_dict(flow: FlowRecord) -> dict[str, Any]:
         "text": flow.text,
         "data": base64.b64encode(flow.data).decode("ascii")
         if flow.data is not None else None,
+        "truncated": flow.truncated,
+        "aborted": flow.aborted,
     }
 
 
@@ -50,6 +52,8 @@ def flow_from_dict(raw: dict[str, Any]) -> FlowRecord:
         size_bytes=raw["size_bytes"],
         text=raw["text"],
         data=base64.b64decode(raw["data"]) if raw["data"] else None,
+        truncated=raw.get("truncated", False),
+        aborted=raw.get("aborted", False),
     )
 
 

@@ -14,6 +14,13 @@ from repro.blackbox.convergence import ConvergenceProbe, probe_convergence
 from repro.blackbox.stepresponse import StepProbe, probe_step_response
 from repro.blackbox.variants import VariantExperiment, run_variant_experiment
 from repro.blackbox.startup_sweep import StartupSweepPoint, startup_sweep
+from repro.blackbox.resilience import (
+    FaultScenario,
+    ResilienceCell,
+    ResilienceReport,
+    run_resilience_sweep,
+    standard_fault_scenarios,
+)
 
 __all__ = [
     "StartupProbe",
@@ -28,4 +35,9 @@ __all__ = [
     "run_variant_experiment",
     "StartupSweepPoint",
     "startup_sweep",
+    "FaultScenario",
+    "ResilienceCell",
+    "ResilienceReport",
+    "run_resilience_sweep",
+    "standard_fault_scenarios",
 ]

@@ -8,6 +8,9 @@ Commands mirror the library's main entry points:
   [--fast-forward]`` — the cross-sectional comparison table, optionally
   fanned out over worker processes via the sweep engine;
 * ``probe SERVICE`` — black-box recovery of a Table 1 column;
+* ``resilience [SERVICES...] [--scenarios A,B] [--profile N]
+  [--duration S] [--workers N] [--no-fast-forward] [--json PATH]`` —
+  the services x fault-scenarios sweep (stalls, failures, give-ups);
 * ``services`` — list the modelled services and their designs;
 * ``profiles`` — list the 14 cellular bandwidth profiles.
 """
@@ -56,6 +59,23 @@ def _build_parser() -> argparse.ArgumentParser:
     probe_parser = commands.add_parser("probe",
                                        help="black-box probe a service")
     probe_parser.add_argument("service", choices=ALL_SERVICE_NAMES)
+
+    res_parser = commands.add_parser(
+        "resilience", help="sweep services across fault scenarios")
+    res_parser.add_argument("services", nargs="*",
+                            default=list(ALL_SERVICE_NAMES))
+    res_parser.add_argument("--scenarios", default=None,
+                            help="comma-separated scenario names "
+                                 "(default: all standard scenarios)")
+    res_parser.add_argument("--profile", type=int, default=9,
+                            help="cellular profile id (1-14)")
+    res_parser.add_argument("--duration", type=float, default=120.0)
+    res_parser.add_argument("--workers", type=int, default=0,
+                            help="worker processes (0 = serial)")
+    res_parser.add_argument("--no-fast-forward", action="store_true",
+                            help="run every tick serially")
+    res_parser.add_argument("--json", default=None, metavar="PATH",
+                            help="also write the report as JSON")
 
     commands.add_parser("services", help="list modelled services")
     commands.add_parser("profiles", help="list cellular profiles")
@@ -124,6 +144,43 @@ def _cmd_probe(args) -> int:
     return 0
 
 
+def _cmd_resilience(args) -> int:
+    import json
+
+    from repro.blackbox.resilience import (
+        run_resilience_sweep,
+        standard_fault_scenarios,
+    )
+
+    if args.workers < 0:
+        raise SystemExit("--workers must be >= 0")
+    scenarios = standard_fault_scenarios(args.duration)
+    if args.scenarios:
+        wanted = [part.strip() for part in args.scenarios.split(",") if part]
+        by_name = {scenario.name: scenario for scenario in scenarios}
+        unknown = [name for name in wanted if name not in by_name]
+        if unknown:
+            raise SystemExit(
+                f"unknown scenario(s) {', '.join(unknown)}; "
+                f"available: {', '.join(by_name)}"
+            )
+        scenarios = tuple(by_name[name] for name in wanted)
+    report = run_resilience_sweep(
+        args.services,
+        scenarios,
+        profile_id=args.profile,
+        duration_s=args.duration,
+        workers=args.workers,
+        fast_forward=not args.no_fast_forward,
+    )
+    print(report.render())
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(report.to_json(), handle, indent=2)
+        print(f"\nwrote {args.json}")
+    return 0
+
+
 def _cmd_services(args) -> int:
     print(f"{'svc':4} {'protocol':8} {'seg s':>5} {'audio':>5} "
           f"{'#TCP':>4} {'persist':>7} {'startup':>9} {'pause/resume':>13}")
@@ -153,6 +210,7 @@ _COMMANDS = {
     "run": _cmd_run,
     "compare": _cmd_compare,
     "probe": _cmd_probe,
+    "resilience": _cmd_resilience,
     "services": _cmd_services,
     "profiles": _cmd_profiles,
 }

@@ -30,11 +30,18 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
 from typing import Callable, Iterable, Optional, Sequence, TypeVar, Union
 
+from repro.analysis.faults import FaultSpec
 from repro.analysis.qoe import QoeReport
 from repro.core.session import Session, SessionResult
 from repro.net.rrc import RrcState
 from repro.net.traces import TRACE_SEED, CellularTrace, generate_trace
-from repro.player.events import SegmentPlayStarted, StallEnded
+from repro.player.events import (
+    DownloadFailed,
+    SegmentPlayStarted,
+    SegmentSkipped,
+    SessionEnded,
+    StallEnded,
+)
 from repro.server.origin import OriginServer
 from repro.services.profiles import (
     DEFAULT_CONTENT_SEED,
@@ -76,6 +83,8 @@ class RunSpec:
     trace_duration_s: Optional[float] = None
     trace_seed: int = TRACE_SEED
     config_overrides: tuple[tuple[str, object], ...] = ()
+    # Fault injection (frozen + picklable, so it rides in the spec)
+    faults: Optional[FaultSpec] = None
 
     @property
     def service_name(self) -> str:
@@ -123,6 +132,11 @@ class RunRecord:
     bitrate_timeline: tuple[tuple[float, float], ...] = field(repr=False)
     # (stall_end_at, stall_duration_s) per completed stall
     stall_timeline: tuple[tuple[float, float], ...] = field(repr=False)
+    # Resilience accounting (fault-injection runs; zero in clean runs)
+    download_failures: int = 0
+    downloads_given_up: int = 0
+    segments_skipped: int = 0
+    end_reason: Optional[str] = None
 
 
 def record_from_result(spec: RunSpec, result: SessionResult) -> RunRecord:
@@ -153,6 +167,16 @@ def record_from_result(spec: RunSpec, result: SessionResult) -> RunRecord:
             (event.at, event.duration_s)
             for event in result.events.of_type(StallEnded)
         ),
+        download_failures=len(result.events.of_type(DownloadFailed)),
+        downloads_given_up=sum(
+            1 for event in result.events.of_type(DownloadFailed) if event.gave_up
+        ),
+        segments_skipped=len(result.events.of_type(SegmentSkipped)),
+        end_reason=next(
+            (event.reason for event in reversed(result.events.events)
+             if isinstance(event, SessionEnded)),
+            None,
+        ),
     )
 
 
@@ -182,6 +206,7 @@ def _session_for_spec(spec: RunSpec) -> Session:
         rtt_s=spec.rtt_s,
         fast_forward=spec.fast_forward,
         transfer_fast_forward=spec.transfer_fast_forward,
+        faults=spec.faults,
     )
 
 

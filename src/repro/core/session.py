@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.analysis.bufferinfer import BufferEstimator
+from repro.analysis.faults import FaultInjectingHandler, FaultSpec
 from repro.analysis.proxy import ManifestRewriter, Proxy, SegmentLimitRejector
 from repro.analysis.qoe import QoeReport, compute_qoe
 from repro.analysis.traffic import TrafficAnalyzer
@@ -93,6 +94,7 @@ class Session:
         player_config: Optional[PlayerConfig] = None,
         fast_forward: bool = False,
         transfer_fast_forward: Optional[bool] = None,
+        faults: Optional[FaultSpec] = None,
     ):
         self.built = built
         self.fast_forward = fast_forward
@@ -107,8 +109,23 @@ class Session:
         self.transfer_fast_forwarded_ticks = 0
         self.transfer_fast_forward_jumps = 0
         self.clock = Clock(dt=dt)
-        self.proxy = Proxy(server)
-        self.network = Network(self.clock, self.proxy, schedule, rtt_s=rtt_s)
+        self.faults = faults
+        # Origin-side faults sit between the proxy and the origin (the
+        # proxy must record what actually went over the wire); the
+        # transport plane rides inside the network.
+        self.fault_injector: Optional[FaultInjectingHandler] = None
+        origin_handler = server
+        if faults is not None and faults.has_origin_faults:
+            self.fault_injector = FaultInjectingHandler(server, self.clock, faults)
+            origin_handler = self.fault_injector
+        self.proxy = Proxy(origin_handler)
+        self.network = Network(
+            self.clock,
+            self.proxy,
+            schedule,
+            rtt_s=rtt_s,
+            faults=faults.transport_plane() if faults is not None else None,
+        )
         self.network.observers.append(self.proxy)
         self.rrc = RrcMachine()
         if manifest_rewriter is not None:
@@ -171,6 +188,9 @@ class Session:
         if max_ticks < 2:
             return False
         ticks = player.idle_noop_ticks(dt, max_ticks)
+        # Fault change points (including no-op resets) must execute on
+        # the serial path so the fault cursor advances identically.
+        ticks = self.network.fault_horizon_ticks(ticks, dt)
         if ticks < 2:
             return False
         player.apply_noop_ticks(ticks, dt)
@@ -206,11 +226,11 @@ class Session:
         ticks = self.player.transfer_noop_ticks(dt, max_ticks)
         if ticks < 2:
             return False
-        capacity = (
-            network.schedule.bandwidth_at(self.clock.now)
-            if network.schedule is not None
-            else network.link.capacity_bps
-        )
+        # Effective capacity folds tick-level faults (dead air) in; the
+        # slow-start horizon then correctly treats the window as one in
+        # which nothing can complete.  advance_many applies its own
+        # fault clamp so no injected event is ever batched across.
+        capacity = network.effective_capacity(self.clock.now)
         for connection in network.connections:
             if connection.transfer is not None:
                 ticks = connection.slow_start_horizon_ticks(capacity, dt, ticks)
@@ -260,6 +280,7 @@ def run_session(
     content_seed: int = 11,
     fast_forward: bool = False,
     transfer_fast_forward: Optional[bool] = None,
+    faults: Optional[FaultSpec] = None,
 ) -> SessionResult:
     """Convenience: build a fresh server + service and run one session."""
     if isinstance(schedule, CellularTrace):
@@ -282,5 +303,6 @@ def run_session(
         reject_after_segments=reject_after_segments,
         fast_forward=fast_forward,
         transfer_fast_forward=transfer_fast_forward,
+        faults=faults,
     )
     return session.run(duration_s)

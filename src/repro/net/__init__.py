@@ -20,12 +20,18 @@ from repro.net.schedule import (
 from repro.net.tcp import TcpConnection, TcpConnectionState, Transfer
 from repro.net.link import BottleneckLink, water_fill
 from repro.net.http import (
+    ContentKind,
     HttpMethod,
     HttpRequest,
     HttpResponse,
     HttpStatus,
     RequestHandler,
     ResponsePlan,
+)
+from repro.net.faults import (
+    DeadAirWindow,
+    LatencySpikeWindow,
+    TransportFaultPlane,
 )
 from repro.net.network import Network, NetworkObserver
 from repro.net.traces import (
@@ -54,11 +60,15 @@ __all__ = [
     "Transfer",
     "BottleneckLink",
     "water_fill",
+    "ContentKind",
     "HttpMethod",
     "HttpRequest",
     "HttpResponse",
     "HttpStatus",
     "ResponsePlan",
+    "DeadAirWindow",
+    "LatencySpikeWindow",
+    "TransportFaultPlane",
     "Network",
     "NetworkObserver",
     "RequestHandler",

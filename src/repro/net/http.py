@@ -24,6 +24,26 @@ class HttpStatus(enum.IntEnum):
     PARTIAL_CONTENT = 206
     FORBIDDEN = 403
     NOT_FOUND = 404
+    REQUEST_TIMEOUT = 408
+    TOO_MANY_REQUESTS = 429
+    INTERNAL_SERVER_ERROR = 500
+    BAD_GATEWAY = 502
+    SERVICE_UNAVAILABLE = 503
+
+
+class ContentKind(enum.Enum):
+    """What a response body *is*, independent of how it is carried.
+
+    Stamped by the origin when it builds the plan, so proxies and fault
+    injectors classify traffic by declaration instead of sniffing for
+    "has text"/"has data" (which breaks for e.g. HEAD responses).
+    """
+
+    MANIFEST = "manifest"
+    INDEX = "index"
+    MEDIA = "media"
+    ERROR = "error"
+    OTHER = "other"
 
 
 @dataclass(frozen=True)
@@ -55,6 +75,11 @@ class ResponsePlan:
     size_bytes: int
     text: Optional[str] = None
     data: Optional[bytes] = None
+    content: ContentKind = ContentKind.OTHER
+    # A truncated plan delivers ``size_bytes`` (already shortened) and
+    # then the server closes the connection; the client must treat the
+    # short body as a failed download.
+    truncated: bool = False
 
     def __post_init__(self) -> None:
         check_positive("size_bytes", self.size_bytes)
@@ -65,21 +90,27 @@ class ResponsePlan:
             status=HttpStatus.OK,
             size_bytes=max(1, len(text.encode("utf-8"))),
             text=text,
+            content=ContentKind.MANIFEST,
         )
 
     @classmethod
     def ok_data(cls, data: bytes, partial: bool = False) -> "ResponsePlan":
         status = HttpStatus.PARTIAL_CONTENT if partial else HttpStatus.OK
-        return cls(status=status, size_bytes=max(1, len(data)), data=data)
+        return cls(
+            status=status,
+            size_bytes=max(1, len(data)),
+            data=data,
+            content=ContentKind.INDEX,
+        )
 
     @classmethod
     def ok_opaque(cls, size_bytes: int, partial: bool = False) -> "ResponsePlan":
         status = HttpStatus.PARTIAL_CONTENT if partial else HttpStatus.OK
-        return cls(status=status, size_bytes=size_bytes)
+        return cls(status=status, size_bytes=size_bytes, content=ContentKind.MEDIA)
 
     @classmethod
     def error(cls, status: HttpStatus) -> "ResponsePlan":
-        return cls(status=status, size_bytes=128)
+        return cls(status=status, size_bytes=128, content=ContentKind.ERROR)
 
     @property
     def is_success(self) -> bool:
@@ -99,9 +130,15 @@ class HttpResponse:
     completed_at: float
     text: Optional[str] = None
     data: Optional[bytes] = None
+    # Server sent a short body and closed the connection mid-response.
+    truncated: bool = False
+    # Client (timeout) or network (reset) tore the transfer down early.
+    aborted: bool = False
 
     @property
     def is_success(self) -> bool:
+        if self.truncated or self.aborted:
+            return False
         return self.status in (HttpStatus.OK, HttpStatus.PARTIAL_CONTENT)
 
     @property

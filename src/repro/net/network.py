@@ -14,6 +14,7 @@ import math
 from typing import Callable, Optional, Protocol
 
 from repro.net.clock import Clock
+from repro.net.faults import TransportFaultPlane
 from repro.net.http import HttpRequest, HttpResponse, ResponsePlan
 from repro.net.link import BottleneckLink, water_fill
 from repro.net.schedule import BandwidthSchedule
@@ -44,11 +45,13 @@ class Network:
         *,
         rtt_s: float = 0.05,
         header_overhead_bytes: int = DEFAULT_HEADER_OVERHEAD_BYTES,
+        faults: Optional[TransportFaultPlane] = None,
     ):
         check_non_negative("header_overhead_bytes", header_overhead_bytes)
         self.clock = clock
         self.handler = handler
         self.schedule = schedule
+        self.faults = faults
         self.rtt_s = rtt_s
         self.header_overhead_bytes = header_overhead_bytes
         self.link = BottleneckLink()
@@ -97,16 +100,25 @@ class Network:
             observer.on_request(request, plan, flow_id, now)
 
         def finish(transfer: Transfer) -> None:
+            if transfer.aborted:
+                # Only a partial body arrived; don't surface payload.
+                size = min(plan.size_bytes, int(transfer.delivered_bytes))
+                text = data = None
+            else:
+                size = plan.size_bytes
+                text, data = plan.text, plan.data
             response = HttpResponse(
                 request=request,
                 status=plan.status,
-                size_bytes=plan.size_bytes,
+                size_bytes=size,
                 connection_id=flow_id,
                 started_at=transfer.started_at or now,
                 first_byte_at=transfer.first_byte_at or self.clock.now,
                 completed_at=self.clock.now,
-                text=plan.text,
-                data=plan.data,
+                text=text,
+                data=data,
+                truncated=plan.truncated,
+                aborted=transfer.aborted,
             )
             for observer in self.observers:
                 observer.on_response(response)
@@ -117,19 +129,72 @@ class Network:
             on_complete=finish,
             context=request,
         )
-        connection.start_transfer(transfer, now)
+        extra_latency = (
+            self.faults.extra_latency_at(now) if self.faults is not None else 0.0
+        )
+        connection.start_transfer(transfer, now, extra_latency)
         return transfer
+
+    def abort_transfer(self, connection: TcpConnection) -> None:
+        """Tear down ``connection``'s in-flight transfer (timeout/reset).
+
+        The completion callback fires immediately with an aborted
+        response, so the client reacts on this very tick.
+        """
+        transfer = connection.abort(self.clock.now)
+        if transfer is not None and transfer.on_complete is not None:
+            transfer.on_complete(transfer)
 
     # -- time ---------------------------------------------------------------
 
     def advance(self, dt: float) -> None:
         """Move one tick of bytes and fire completion callbacks."""
+        now = self.clock.now
+        faults = self.faults
+        if faults is not None and faults.resets_due(now):
+            for connection in list(self.connections):
+                if connection.transfer is not None:
+                    self.abort_transfer(connection)
         if self.schedule is not None:
-            self.link.set_capacity(self.schedule.bandwidth_at(self.clock.now))
-        completed = self.link.advance(self.connections, dt, self.clock.now)
+            self.link.set_capacity(self.schedule.bandwidth_at(now))
+        if faults is not None and faults.dead_air_at(now):
+            # Radio silence: zero capacity for this tick only; control
+            # countdowns still run, like a zero-bandwidth schedule step.
+            saved_capacity = self.link.capacity_bps
+            self.link.set_capacity(0.0)
+            completed = self.link.advance(self.connections, dt, now)
+            self.link.set_capacity(saved_capacity)
+        else:
+            completed = self.link.advance(self.connections, dt, now)
         for transfer in completed:
             if transfer.on_complete is not None:
                 transfer.on_complete(transfer)
+
+    def effective_capacity(self, t: float) -> float:
+        """Link capacity at ``t`` with tick-level faults applied."""
+        if self.faults is not None and self.faults.dead_air_at(t):
+            return 0.0
+        if self.schedule is not None:
+            return self.schedule.bandwidth_at(t)
+        return self.link.capacity_bps
+
+    def fault_horizon_ticks(self, max_ticks: int, dt: float) -> int:
+        """Clamp an idle/transfer window so no fault event is skipped.
+
+        Mirrors the schedule clamp in :meth:`advance_many`: the window
+        may only cover ticks strictly before the next fault change
+        point, so the change-point tick itself runs serially (which is
+        what fires resets — even no-op ones — and keeps the fault
+        cursor identical to a serial run).
+        """
+        if self.faults is None:
+            return max_ticks
+        change = self.faults.next_change_at(self.clock.now)
+        if change == math.inf:
+            return max_ticks
+        if change <= self.clock.now + 1e-9:
+            return 0
+        return min(max_ticks, int((change - self.clock.now - 1e-9) / dt) + 1)
 
     def steady_for_batching(self) -> bool:
         """True when batched ticks can replay this network exactly.
@@ -175,6 +240,20 @@ class Network:
             capacity = self.schedule.bandwidth_at(t)
         else:
             capacity = link.capacity_bps
+        base_capacity = capacity
+        if self.faults is not None:
+            fault_change = self.faults.next_change_at(t)
+            if fault_change != math.inf:
+                if fault_change <= t + 1e-9:
+                    # An unfired (possibly no-op) reset is due: the
+                    # serial path must execute this tick so the reset
+                    # cursor advances exactly as in a serial run.
+                    return 0, []
+                max_ticks = min(
+                    max_ticks, int((fault_change - t - 1e-9) / dt) + 1
+                )
+            if self.faults.dead_air_at(t):
+                capacity = 0.0
         connections = self.connections
         executed = 0
         activity: list[bool] = []
@@ -247,6 +326,8 @@ class Network:
             executed += 1
         if executed and self.schedule is not None:
             # The serial loop re-asserts the (identical) capacity every
-            # tick; leave the link in the same state.
-            link.set_capacity(capacity)
+            # tick; leave the link in the same state.  Under dead air
+            # the serial tick restores the schedule capacity afterwards,
+            # so mirror that by asserting the un-faulted value.
+            link.set_capacity(base_capacity)
         return executed, activity

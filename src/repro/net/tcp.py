@@ -46,6 +46,8 @@ class Transfer:
     started_at: float | None = None
     first_byte_at: float | None = None
     completed_at: float | None = None
+    # Torn down before all bytes arrived (client timeout or reset).
+    aborted: bool = False
 
     def __post_init__(self) -> None:
         check_positive("total_bytes", self.total_bytes)
@@ -107,6 +109,23 @@ class TcpConnection:
         self.state = TcpConnectionState.CLOSED
         self._idle_since = None
 
+    def abort(self, now: float) -> Transfer | None:
+        """Tear the connection down mid-transfer (timeout or reset).
+
+        The in-flight transfer (if any) is marked aborted and returned;
+        the connection closes, so the next request pays a handshake.
+        """
+        transfer = self._transfer
+        if transfer is not None:
+            transfer.aborted = True
+            transfer.completed_at = now
+            self._transfer = None
+        self.state = TcpConnectionState.CLOSED
+        self._handshake_remaining_s = 0.0
+        self._request_latency_remaining_s = 0.0
+        self._idle_since = None
+        return transfer
+
     @property
     def transfer(self) -> Transfer | None:
         return self._transfer
@@ -136,13 +155,18 @@ class TcpConnection:
             and not self._request_latency_remaining_s > 0
         )
 
-    def start_transfer(self, transfer: Transfer, now: float) -> None:
+    def start_transfer(
+        self, transfer: Transfer, now: float, extra_latency_s: float = 0.0
+    ) -> None:
         """Queue ``transfer`` on this connection.
 
         If the connection is closed it is (re)opened first, paying the
         handshake.  If it sat idle longer than ``idle_restart_s``, the
         congestion window restarts from the initial window.
+        ``extra_latency_s`` models added request latency (e.g. a fault
+        plane's latency spike) on top of the base RTT.
         """
+        check_non_negative("extra_latency_s", extra_latency_s)
         if self._transfer is not None:
             raise RuntimeError(f"{self.conn_id}: already transferring")
         if self.state is TcpConnectionState.CLOSED:
@@ -154,7 +178,7 @@ class TcpConnection:
             self.cwnd_bytes = float(INITIAL_CWND_BYTES)
         self._idle_since = None
         self._transfer = transfer
-        self._request_latency_remaining_s = self.rtt_s
+        self._request_latency_remaining_s = self.rtt_s + extra_latency_s
         transfer.started_at = now
 
     # -- per-tick dynamics ---------------------------------------------------

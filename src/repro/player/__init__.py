@@ -40,16 +40,19 @@ from repro.player.scheduler import (
     SyncedAvScheduler,
 )
 from repro.player.events import (
+    DownloadFailed,
     PlayerEvent,
     PlaybackStarted,
     ProgressSample,
     SegmentCompleted,
     SegmentDiscarded,
     SegmentPlayStarted,
+    SegmentSkipped,
     SessionEnded,
     StallEnded,
     StallStarted,
 )
+from repro.player.resilience import DegradationPolicy, RetryPolicy
 from repro.player.abr_extra import BolaAbr, BufferBasedAbr
 from repro.player.player import Player, PlayerState
 
@@ -79,15 +82,19 @@ __all__ = [
     "SingleConnectionScheduler",
     "SplitScheduler",
     "SyncedAvScheduler",
+    "DownloadFailed",
     "PlayerEvent",
     "PlaybackStarted",
     "ProgressSample",
     "SegmentCompleted",
     "SegmentDiscarded",
     "SegmentPlayStarted",
+    "SegmentSkipped",
     "SessionEnded",
     "StallEnded",
     "StallStarted",
+    "DegradationPolicy",
+    "RetryPolicy",
     "BolaAbr",
     "BufferBasedAbr",
     "Player",

@@ -15,6 +15,7 @@ from typing import Callable, Optional
 from repro.player.abr import AbrAlgorithm, RateBasedAbr
 from repro.player.estimator import SlidingWindowEstimator, ThroughputEstimator
 from repro.player.replacement import NoReplacement, ReplacementPolicy
+from repro.player.resilience import DegradationPolicy, RetryPolicy
 from repro.util import check_positive
 
 
@@ -67,8 +68,12 @@ class PlayerConfig:
     # Index/metadata strategy
     prefetch_all_indexes: bool = False
 
-    # Error handling
+    # Error handling.  ``retry_interval_s`` is the legacy knob; when
+    # ``retry_policy`` is None the player behaves exactly as before
+    # (unbounded retries every ``retry_interval_s``).
     retry_interval_s: float = 0.5
+    retry_policy: Optional[RetryPolicy] = None
+    degradation: DegradationPolicy = field(default_factory=DegradationPolicy)
 
     def __post_init__(self) -> None:
         check_positive("startup_buffer_s", self.startup_buffer_s)
@@ -86,6 +91,12 @@ class PlayerConfig:
         if self.connections < 1:
             raise ValueError("connections must be >= 1")
         check_positive("retry_interval_s", self.retry_interval_s)
+
+    @property
+    def effective_retry_policy(self) -> RetryPolicy:
+        if self.retry_policy is not None:
+            return self.retry_policy
+        return RetryPolicy.fixed(self.retry_interval_s)
 
     @property
     def effective_rebuffer_resume_s(self) -> float:

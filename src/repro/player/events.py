@@ -68,6 +68,33 @@ class SegmentDiscarded(PlayerEvent):
 
 
 @dataclass(frozen=True)
+class DownloadFailed(PlayerEvent):
+    """A download attempt failed (error, truncation, abort or timeout).
+
+    Emitted on *every* failed attempt; ``gave_up`` marks the one that
+    exhausted the retry policy's attempt budget.
+    """
+
+    stream_type: StreamType
+    kind: str  # FetchJob kind value: manifest/media_playlist/index/segment
+    url: str
+    index: int | None
+    level: int | None
+    attempts: int
+    gave_up: bool
+
+
+@dataclass(frozen=True)
+class SegmentSkipped(PlayerEvent):
+    """The playhead jumped over a permanently-failed segment."""
+
+    stream_type: StreamType
+    index: int
+    from_position_s: float
+    to_position_s: float
+
+
+@dataclass(frozen=True)
 class SeekPerformed(PlayerEvent):
     """The user moved the seekbar to a new position."""
 

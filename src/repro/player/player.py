@@ -43,12 +43,14 @@ from repro.player.abr import AbrContext
 from repro.player.buffer import BufferedSegment, PlaybackBuffer
 from repro.player.config import PlayerConfig, SchedulerStrategy
 from repro.player.events import (
+    DownloadFailed,
     EventLog,
     PlaybackStarted,
     ProgressSample,
     SegmentCompleted,
     SegmentDiscarded,
     SegmentPlayStarted,
+    SegmentSkipped,
     SessionEnded,
     StallEnded,
     StallStarted,
@@ -68,6 +70,7 @@ from repro.player.scheduler import (
     SplitScheduler,
     SyncedAvScheduler,
 )
+from repro.util import DeterministicRng, derive_seed
 
 _EPS = 1e-9
 
@@ -154,6 +157,23 @@ class Player:
         self._loading_tracks: set[tuple[StreamType, int]] = set()
         self._stale_jobs: set[int] = set()
         self._replacement_inflight = False
+        # Resilience state (repro.player.resilience policies).
+        self._retry_policy = config.effective_retry_policy
+        self._degradation = config.degradation
+        self._attempts: dict[tuple, int] = {}
+        self._forced_levels: dict[tuple[StreamType, int], int] = {}
+        self._skipped: dict[StreamType, set[int]] = {
+            StreamType.VIDEO: set(),
+            StreamType.AUDIO: set(),
+        }
+        self._dead_tracks: set[tuple[StreamType, int]] = set()
+        self._retry_rng = (
+            DeterministicRng(
+                derive_seed(self._retry_policy.jitter_seed, config.name)
+            )
+            if self._retry_policy.jitter_fraction > 0.0
+            else None
+        )
         self._manifest_requested = False
         self._last_selected_level: int | None = None
         self._forward_video_completed = 0
@@ -288,6 +308,8 @@ class Player:
             return 0
         if self.manifest is None or self._replacement_inflight or self._stale_jobs:
             return 0
+        if self._pending_skip_jump():
+            return 0  # the playhead jump must run serially this tick
         pos = self._play_pos
         margins: list[float] = []  # seconds until a tick may stop being a no-op
 
@@ -341,13 +363,15 @@ class Player:
             for threshold in thresholds():
                 if threshold is not None and occupancy > threshold:
                     margins.append(occupancy - threshold)
-            level = self._choose_video_level()
+            level = self._usable_level(stream, self._choose_video_level())
             if self.config.prefetch_all_indexes and any(
-                track.segments is None for track in tracks
+                track.segments is None
+                and (stream, other_level) not in self._dead_tracks
+                for other_level, track in enumerate(tracks)
             ):
                 return False
         else:
-            level = 0
+            level = self._usable_level(stream, 0)
         if tracks[level].segments is None:
             return False  # the serial path would issue a metadata fetch
         if stream is StreamType.VIDEO and not self._replacement_inflight:
@@ -380,6 +404,52 @@ class Player:
             ticks = min(ticks, int((margin - 1e-6) / dt))
         return max(ticks, 0)
 
+    def _timeout_margins(self, margins: list[float]) -> bool:
+        """Margins until an in-flight job hits its request timeout.
+
+        Returns False when a timeout abort is due this very tick (the
+        caller must run it serially).  With no timeout configured this
+        is a no-op, so un-faulted runs pay nothing.
+        """
+        timeout = self._retry_policy.request_timeout_s
+        if timeout is None:
+            return True
+        now = self.clock.now
+        for stream in (StreamType.VIDEO, StreamType.AUDIO):
+            for job in self.scheduler.inflight_jobs(stream):
+                if job.submitted_at is None:
+                    continue
+                margin = job.submitted_at + timeout - now
+                if margin <= 1e-9:
+                    return False
+                margins.append(margin)
+        return True
+
+    def _pending_skip_jump(self) -> bool:
+        """True when ``_advance_past_skipped`` would move the playhead."""
+        if not (
+            self._skipped[StreamType.VIDEO] or self._skipped[StreamType.AUDIO]
+        ):
+            return False
+        if self.manifest is None or self.state in (
+            PlayerState.INIT, PlayerState.ENDED
+        ):
+            return False
+        for stream in self._streams():
+            skipped = self._skipped[stream]
+            if not skipped:
+                continue
+            if self.buffers[stream].segment_covering(self._play_pos) is not None:
+                continue
+            timeline = self._segment_timeline(stream)
+            if timeline is None:
+                continue
+            if self._play_pos >= timeline[-1].end_s - _EPS:
+                continue
+            if self._index_covering(timeline, self._play_pos) in skipped:
+                return True
+        return False
+
     def transfer_noop_ticks(self, dt: float, max_ticks: int) -> int:
         """How many ticks are player no-ops while downloads are in flight.
 
@@ -398,16 +468,24 @@ class Player:
             return max_ticks  # advance() only emits UI samples
         if self.state is PlayerState.INIT:
             # The in-flight transfer is the manifest fetch: playback
-            # waits for it, and _advance_fetching re-requests nothing.
+            # waits for it, and _advance_fetching re-requests nothing
+            # — but a request timeout may still abort it mid-window.
             if self.manifest is not None or not self._manifest_requested:
                 return 0
-            return max_ticks
+            margins: list[float] = []
+            if not self._timeout_margins(margins):
+                return 0
+            return self._ticks_within(margins, dt, max_ticks)
         if self.manifest is None:
             return 0
         if not getattr(self.scheduler, "slots_static_while_busy", False):
             return 0
+        if self._pending_skip_jump():
+            return 0  # the playhead jump must run serially this tick
         pos = self._play_pos
-        margins: list[float] = []
+        margins = []
+        if not self._timeout_margins(margins):
+            return 0
         playing = self.state is PlayerState.PLAYING
         if playing:
             margins.append(self._render_limit() - pos)
@@ -496,6 +574,7 @@ class Player:
             if self.manifest is not None:
                 self.state = PlayerState.BUFFERING
             return
+        self._advance_past_skipped()
         if self.state is PlayerState.BUFFERING:
             if self._startup_ready():
                 if not self._ever_started:
@@ -540,6 +619,61 @@ class Player:
             and self._play_pos >= self._content_end - 1e-6
         ):
             self._end_session("content finished")
+
+    def _advance_past_skipped(self) -> None:
+        """Jump the playhead over permanently-failed (skipped) segments.
+
+        Runs only when a skipped segment sits exactly at the playhead
+        with no buffered content covering it; the jump lands at the
+        segment's end so playback (or buffering) resumes from the next
+        fetchable segment.
+        """
+        if not (
+            self._skipped[StreamType.VIDEO] or self._skipped[StreamType.AUDIO]
+        ):
+            return
+        if self.manifest is None:
+            return
+        moved = False
+        progress = True
+        while progress:
+            progress = False
+            for stream in self._streams():
+                skipped = self._skipped[stream]
+                if not skipped:
+                    continue
+                if (
+                    self.buffers[stream].segment_covering(self._play_pos)
+                    is not None
+                ):
+                    continue
+                timeline = self._segment_timeline(stream)
+                if timeline is None:
+                    continue
+                if self._play_pos >= timeline[-1].end_s - _EPS:
+                    continue
+                index = self._index_covering(timeline, self._play_pos)
+                if index not in skipped:
+                    continue
+                segment = next(s for s in timeline if s.index == index)
+                if segment.end_s <= self._play_pos + _EPS:
+                    continue
+                self.events.emit(
+                    SegmentSkipped(
+                        at=self.clock.now,
+                        stream_type=stream,
+                        index=index,
+                        from_position_s=self._play_pos,
+                        to_position_s=segment.end_s,
+                    )
+                )
+                self._play_pos = segment.end_s
+                moved = progress = True
+        if moved:
+            for stream in self._streams():
+                self.buffers[stream].consume_until(self._play_pos)
+            if self.state is PlayerState.PLAYING:
+                self._note_play_index()
 
     def _note_play_index(self) -> None:
         segment = self.buffers[StreamType.VIDEO].segment_covering(self._play_pos)
@@ -614,9 +748,14 @@ class Player:
     # -- fetching ---------------------------------------------------------------
 
     def _advance_fetching(self) -> None:
+        self._abort_overdue_jobs()
+        if self.state is PlayerState.ENDED:
+            return  # an aborted download just exhausted the retry budget
         if self.manifest is None:
-            if not self._manifest_requested and self.scheduler.slots_for(
-                StreamType.VIDEO
+            if (
+                not self._manifest_requested
+                and self.clock.now >= self._blocked_until[StreamType.VIDEO]
+                and self.scheduler.slots_for(StreamType.VIDEO)
             ):
                 self._request_manifest()
             return
@@ -636,6 +775,23 @@ class Player:
                 if job is not None:
                     self.scheduler.submit(job)
                     progress = True
+
+    def _abort_overdue_jobs(self) -> None:
+        """Abort in-flight jobs that exceeded the per-request timeout.
+
+        The scheduler abort completes the job synchronously as a
+        failure, so the regular retry path takes over immediately.
+        """
+        timeout = self._retry_policy.request_timeout_s
+        if timeout is None:
+            return
+        now = self.clock.now
+        for stream in (StreamType.VIDEO, StreamType.AUDIO):
+            for job in self.scheduler.inflight_jobs(stream):
+                if job.submitted_at is None:
+                    continue
+                if now - job.submitted_at + 1e-9 >= timeout:
+                    self.scheduler.abort_job(job)
 
     def _update_pause_flags(self) -> None:
         for stream in self._streams():
@@ -667,12 +823,15 @@ class Player:
         if not tracks:
             return None
         level = 0 if stream is StreamType.AUDIO else self._choose_video_level()
+        level = self._usable_level(stream, level)
         track = tracks[level]
         if track.segments is None:
             return self._metadata_job_for(stream, level, track)
         if stream is StreamType.VIDEO and self.config.prefetch_all_indexes:
             for other_level, other in enumerate(tracks):
-                if other.segments is None:
+                if other.segments is None and (
+                    (stream, other_level) not in self._dead_tracks
+                ):
                     return self._metadata_job_for(stream, other_level, other)
         if stream is StreamType.VIDEO:
             replacement_job = self._consider_replacement(level)
@@ -684,6 +843,13 @@ class Player:
         if index is None:
             return None
         if stream is StreamType.VIDEO:
+            forced = self._forced_levels.get((stream, index))
+            if (
+                forced is not None
+                and forced < level
+                and tracks[forced].segments is not None
+            ):
+                level = forced
             self._last_selected_level = level
         segment = tracks[level].segments[index]
         self._pending[stream].add(index)
@@ -697,10 +863,38 @@ class Player:
             on_complete=self._on_segment_complete,
         )
 
+    def _usable_level(self, stream: StreamType, level: int) -> int:
+        """Steer selection away from dead tracks (stale-track tolerance).
+
+        A track is dead when its playlist/index fetch exhausted the
+        retry budget under ``tolerate_stale_tracks``; tracks whose
+        timeline is already parsed stay usable forever.  Prefers the
+        nearest lower level, then the nearest higher one.
+        """
+        if not self._dead_tracks or (stream, level) not in self._dead_tracks:
+            return level
+        assert self.manifest is not None
+        tracks = self.manifest.tracks(stream)
+        if tracks[level].segments is not None:
+            return level
+        for candidate in range(level - 1, -1, -1):
+            if (stream, candidate) not in self._dead_tracks or (
+                tracks[candidate].segments is not None
+            ):
+                return candidate
+        for candidate in range(level + 1, len(tracks)):
+            if (stream, candidate) not in self._dead_tracks or (
+                tracks[candidate].segments is not None
+            ):
+                return candidate
+        return level
+
     def _metadata_job_for(
         self, stream: StreamType, level: int, track: ClientTrackInfo
     ) -> FetchJob | None:
         if (stream, level) in self._loading_tracks:
+            return None
+        if (stream, level) in self._dead_tracks:
             return None
         if track.media_playlist_url is not None:
             kind, url, byte_range = (
@@ -831,8 +1025,9 @@ class Player:
             return None
         buffer = self.buffers[stream]
         pending = self._pending[stream]
+        skipped = self._skipped[stream]
         index = self._index_covering(timeline, self._play_pos)
-        while index in buffer or index in pending:
+        while index in buffer or index in pending or index in skipped:
             index += 1
         if index > timeline[-1].index:
             return None
@@ -849,14 +1044,12 @@ class Player:
     # -- completion handlers -------------------------------------------------
 
     def _on_metadata_complete(self, job: FetchJob, result: JobResult) -> None:
-        now = self.clock.now
         if job.kind is JobKind.MANIFEST:
             if not result.success or result.text is None:
                 self._manifest_requested = False
-                self._blocked_until[StreamType.VIDEO] = (
-                    now + self.config.retry_interval_s
-                )
+                self._handle_metadata_failure(job)
                 return
+            self._attempts.pop(("manifest",), None)
             text = result.text
             if self.cipher is not None and ManifestCipher.is_encrypted(text):
                 text = self.cipher.decrypt(text)
@@ -866,7 +1059,7 @@ class Player:
         key = (job.stream_type, job.level)
         self._loading_tracks.discard(key)
         if not result.success:
-            self._blocked_until[job.stream_type] = now + self.config.retry_interval_s
+            self._handle_metadata_failure(job)
             return
         assert self.manifest is not None
         track = self.manifest.tracks(job.stream_type)[job.level]
@@ -876,8 +1069,9 @@ class Player:
             elif job.kind is JobKind.INDEX and result.data is not None:
                 track.segments = segments_from_sidx(track, parse_sidx(result.data))
         except ManifestError:
-            self._blocked_until[job.stream_type] = now + self.config.retry_interval_s
+            self._handle_metadata_failure(job)
             return
+        self._attempts.pop((job.kind.value, job.stream_type, job.level), None)
         self._maybe_set_content_end()
 
     def _maybe_set_content_end(self) -> None:
@@ -900,8 +1094,10 @@ class Player:
             self._emit_wasted(job, result.size_bytes)
             return
         if not result.success:
-            self._blocked_until[stream] = now + self.config.retry_interval_s
+            self._handle_segment_failure(job)
             return
+        self._attempts.pop(("segment", stream, job.index), None)
+        self._forced_levels.pop((stream, job.index), None)
         if stream is StreamType.VIDEO:
             add_interval = getattr(self.estimator, "add_interval", None)
             if add_interval is not None:
@@ -958,6 +1154,98 @@ class Player:
                 is_replacement=job.is_replacement,
             )
         )
+
+    # -- failure handling ------------------------------------------------------
+
+    def _note_failure(self, key: tuple) -> int:
+        attempts = self._attempts.get(key, 0) + 1
+        self._attempts[key] = attempts
+        return attempts
+
+    def _block_stream(self, stream: StreamType, attempts: int) -> None:
+        delay = self._retry_policy.delay_s(attempts, self._retry_rng)
+        self._blocked_until[stream] = self.clock.now + delay
+
+    def _emit_download_failed(
+        self, job: FetchJob, attempts: int, gave_up: bool
+    ) -> None:
+        self.events.emit(
+            DownloadFailed(
+                at=self.clock.now,
+                stream_type=job.stream_type,
+                kind=job.kind.value,
+                url=job.url,
+                index=job.index,
+                level=job.level,
+                attempts=attempts,
+                gave_up=gave_up,
+            )
+        )
+
+    def _handle_metadata_failure(self, job: FetchJob) -> None:
+        """A manifest/playlist/index fetch failed (or failed to parse)."""
+        stream = job.stream_type
+        if job.kind is JobKind.MANIFEST:
+            key: tuple = ("manifest",)
+        else:
+            key = (job.kind.value, stream, job.level)
+        attempts = self._note_failure(key)
+        gave_up = self._retry_policy.exhausted(attempts)
+        self._emit_download_failed(job, attempts, gave_up)
+        if not gave_up:
+            self._block_stream(stream, attempts)
+            return
+        if job.kind is JobKind.MANIFEST:
+            self._end_session("manifest unavailable")
+            return
+        if self._degradation.tolerate_stale_tracks and job.level is not None:
+            self._dead_tracks.add((stream, job.level))
+            self._attempts.pop(key, None)
+            if self._any_usable_track(stream):
+                return  # keep playing from the surviving tracks
+        self._end_session("metadata unavailable")
+
+    def _any_usable_track(self, stream: StreamType) -> bool:
+        assert self.manifest is not None
+        return any(
+            track.segments is not None
+            or (stream, level) not in self._dead_tracks
+            for level, track in enumerate(self.manifest.tracks(stream))
+        )
+
+    def _handle_segment_failure(self, job: FetchJob) -> None:
+        stream = job.stream_type
+        assert job.index is not None
+        if job.is_replacement:
+            # A failed replacement never threatens the session: the
+            # original segment is still buffered.  Back off and let the
+            # policy reconsider; the attempt budget does not apply.
+            attempts = self._note_failure(("replace", stream, job.index))
+            self._emit_download_failed(job, attempts, gave_up=False)
+            self._block_stream(stream, attempts)
+            return
+        attempts = self._note_failure(("segment", stream, job.index))
+        gave_up = self._retry_policy.exhausted(attempts)
+        self._emit_download_failed(job, attempts, gave_up)
+        if not gave_up:
+            if (
+                self._degradation.downswitch_on_failure
+                and stream is StreamType.VIDEO
+                and job.level is not None
+                and job.level > 0
+            ):
+                current = self._forced_levels.get((stream, job.index), job.level)
+                self._forced_levels[(stream, job.index)] = max(
+                    0, min(current, job.level) - 1
+                )
+            self._block_stream(stream, attempts)
+            return
+        if self._degradation.skip_failed_segments:
+            self._skipped[stream].add(job.index)
+            self._attempts.pop(("segment", stream, job.index), None)
+            self._forced_levels.pop((stream, job.index), None)
+            return  # no block: move straight on to the next segment
+        self._end_session("download failed")
 
     def _emit_wasted(self, job: FetchJob, size_bytes: int) -> None:
         self.events.emit(

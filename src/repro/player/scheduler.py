@@ -73,9 +73,13 @@ class FetchJob:
     index: int | None = None
     level: int | None = None
     is_replacement: bool = False
+    # When the job's first request hit the network (for timeouts).
+    submitted_at: float | None = None
     # internal aggregation state for split transfers
     _parts_pending: int = field(default=0, repr=False)
     _responses: list = field(default_factory=list, repr=False)
+    # (connection, transfer) per issued part, for client-side aborts
+    _transfers: list = field(default_factory=list, repr=False)
 
     def describe(self) -> str:
         suffix = f"#{self.index}@L{self.level}" if self.index is not None else ""
@@ -140,14 +144,32 @@ class Scheduler:
         def finish(response: HttpResponse) -> None:
             job._responses.append(response)
             job._parts_pending -= 1
-            if not self.persistent and connection.transfer is None:
+            # A truncated response ends with the server closing the
+            # connection; an abort already closed it client-side.  A
+            # non-persistent scheduler closes after every response.
+            should_close = (
+                not self.persistent or response.truncated
+            ) and connection.transfer is None
+            if should_close and not response.aborted:
                 connection.close()
             if job._parts_pending == 0:
                 self._complete(job)
 
-        self.network.request(connection, request, finish)
+        transfer = self.network.request(connection, request, finish)
+        job._transfers.append((connection, transfer))
+
+    def abort_job(self, job: FetchJob) -> None:
+        """Abort the job's in-flight transfers (client-side timeout).
+
+        Completion callbacks fire synchronously with aborted responses,
+        so by the time this returns the job has completed as a failure.
+        """
+        for connection, transfer in list(job._transfers):
+            if connection.transfer is transfer:
+                self.network.abort_transfer(connection)
 
     def _register(self, job: FetchJob) -> None:
+        job.submitted_at = self.network.clock.now
         self._inflight[job.stream_type].append(job)
 
     def _complete(self, job: FetchJob) -> None:

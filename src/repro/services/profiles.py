@@ -52,6 +52,7 @@ from repro.player.replacement import (
     ImprovedReplacement,
     NoReplacement,
 )
+from repro.player.resilience import DegradationPolicy, RetryPolicy
 from repro.server.origin import Hosting, OriginServer
 from repro.util import kbps
 
@@ -114,6 +115,17 @@ class ServiceSpec:
     # segment replacement
     performs_sr: bool = False
     improved_sr: bool = False
+    # error handling (section 3.3.3: observed retry behaviour under
+    # injected faults; H5's long fixed interval is the Table 2 offender)
+    retry_interval_s: float = 0.5
+    retry_backoff: float = 1.0
+    retry_max_attempts: Optional[int] = 12
+    retry_max_delay_s: float = 8.0
+    retry_jitter: float = 0.0
+    request_timeout_s: Optional[float] = None
+    downswitch_on_failure: bool = False
+    skip_failed_after_cap: bool = False
+    tolerate_stale_tracks: bool = False
 
     def __post_init__(self) -> None:
         if list(self.ladder_kbps) != sorted(self.ladder_kbps):
@@ -286,6 +298,20 @@ class ServiceSpec:
             replacement_factory=replacement_factory,
             allow_mid_replacement=self.improved_sr,
             prefetch_all_indexes=self.prefetch_all_indexes,
+            retry_interval_s=self.retry_interval_s,
+            retry_policy=RetryPolicy(
+                max_attempts=self.retry_max_attempts,
+                base_delay_s=self.retry_interval_s,
+                backoff_factor=self.retry_backoff,
+                max_delay_s=self.retry_max_delay_s,
+                jitter_fraction=self.retry_jitter,
+                request_timeout_s=self.request_timeout_s,
+            ),
+            degradation=DegradationPolicy(
+                downswitch_on_failure=self.downswitch_on_failure,
+                skip_failed_segments=self.skip_failed_after_cap,
+                tolerate_stale_tracks=self.tolerate_stale_tracks,
+            ),
         )
 
 
@@ -362,6 +388,7 @@ H1 = _register(ServiceSpec(
     startup_buffer_s=8.0, startup_bitrate_kbps=630,
     pausing_threshold_s=95.0, resuming_threshold_s=85.0,
     abr_safety_factor=0.75, performs_sr=True,
+    retry_backoff=2.0, downswitch_on_failure=True,
 ))
 
 H2 = _register(ServiceSpec(
@@ -396,6 +423,7 @@ H4 = _register(ServiceSpec(
     startup_buffer_s=9.0, startup_bitrate_kbps=470,
     pausing_threshold_s=155.0, resuming_threshold_s=135.0,
     abr_safety_factor=0.75, performs_sr=True,
+    retry_backoff=2.0, downswitch_on_failure=True,
 ))
 
 H5 = _register(ServiceSpec(
@@ -407,6 +435,9 @@ H5 = _register(ServiceSpec(
     startup_buffer_s=12.0, startup_bitrate_kbps=1850,
     pausing_threshold_s=30.0, resuming_threshold_s=20.0,
     abr_safety_factor=0.75,
+    # The Table 2 offender: a long *fixed* retry interval, so every
+    # error burst costs a multiple of 6 s before the next attempt.
+    retry_interval_s=6.0, retry_max_attempts=10,
 ))
 
 H6 = _register(ServiceSpec(
@@ -418,6 +449,7 @@ H6 = _register(ServiceSpec(
     startup_buffer_s=10.0, startup_bitrate_kbps=880,
     pausing_threshold_s=80.0, resuming_threshold_s=70.0,
     abr_safety_factor=0.75,
+    retry_backoff=1.5,
 ))
 
 D1 = _register(ServiceSpec(
@@ -431,6 +463,7 @@ D1 = _register(ServiceSpec(
     startup_buffer_s=15.0, startup_bitrate_kbps=410,
     pausing_threshold_s=182.0, resuming_threshold_s=178.0,
     abr_safety_factor=0.65, abr_unstable=True, memoryless_estimator=True,
+    retry_interval_s=1.0, retry_max_attempts=20,
 ))
 
 D2 = _register(ServiceSpec(
@@ -443,6 +476,7 @@ D2 = _register(ServiceSpec(
     startup_buffer_s=5.0, startup_bitrate_kbps=300,
     pausing_threshold_s=30.0, resuming_threshold_s=25.0,
     abr_safety_factor=0.6, abr_use_actual=False,  # declared-only (section 4.2)
+    downswitch_on_failure=True,
 ))
 
 D3 = _register(ServiceSpec(
@@ -460,6 +494,7 @@ D3 = _register(ServiceSpec(
     abr_horizon_segments=12,
     decrease_buffer_threshold_s=30.0,
     prefetch_all_indexes=True,  # actual-bitrate-aware selection needs every sidx
+    retry_backoff=2.0, retry_jitter=0.2,
 ))
 
 D4 = _register(ServiceSpec(
@@ -472,6 +507,7 @@ D4 = _register(ServiceSpec(
     startup_buffer_s=6.0, startup_bitrate_kbps=670,
     pausing_threshold_s=34.0, resuming_threshold_s=15.0,
     abr_safety_factor=0.75,
+    retry_backoff=1.5,
 ))
 
 S1 = _register(ServiceSpec(
@@ -483,6 +519,7 @@ S1 = _register(ServiceSpec(
     startup_buffer_s=16.0, startup_bitrate_kbps=1350,
     pausing_threshold_s=180.0, resuming_threshold_s=175.0,
     abr_safety_factor=0.95, decrease_buffer_threshold_s=50.0,
+    retry_interval_s=2.0,
 ))
 
 S2 = _register(ServiceSpec(
@@ -494,6 +531,7 @@ S2 = _register(ServiceSpec(
     startup_buffer_s=6.0, startup_bitrate_kbps=760,
     pausing_threshold_s=30.0, resuming_threshold_s=4.0,
     abr_safety_factor=0.75,
+    skip_failed_after_cap=True,
 ))
 
 ALL_SERVICE_NAMES = tuple(SERVICES)
