@@ -19,7 +19,8 @@ from repro.blackbox import (
     probe_startup_buffer,
     probe_step_response,
 )
-from repro.core.session import run_session
+from repro.core.parallel import RunSpec
+from repro.core.run import run_one
 from repro.net.schedule import ConstantSchedule
 from repro.util import kbps, mbps, to_kbps
 
@@ -30,8 +31,8 @@ def main() -> None:
           f"(no access to its configuration)\n")
 
     print("1. Passive capture: protocol and transport facts")
-    capture = run_session(service, ConstantSchedule(mbps(6)),
-                          duration_s=90.0, content_duration_s=90.0)
+    capture = run_one(RunSpec(service=service, schedule=ConstantSchedule(mbps(6)),
+                              duration_s=90.0, content_duration_s=90.0)).result
     analyzer = capture.analyzer
     stats = analyzer.connection_stats(capture.proxy.flows)
     print(f"   protocol          : "

@@ -12,7 +12,7 @@ Run:
 
 import sys
 
-from repro import ALL_SERVICE_NAMES, cellular_profiles, run_session
+from repro import ALL_SERVICE_NAMES, RunSpec, cellular_profiles, run_one
 from repro.analysis.qoemodel import score_session
 from repro.core.bestpractices import diagnose_service, recommendations_for
 from repro.core.experiment import ProfileRun, summarize_runs
@@ -39,7 +39,8 @@ def main() -> None:
         findings = set()
         scores = []
         for trace in selected:
-            result = run_session(name, trace, duration_s=duration)
+            spec = RunSpec(service=name, trace=trace, duration_s=duration)
+            result = run_one(spec).result
             runs.append(ProfileRun(service_name=name,
                                    profile_id=trace.profile_id,
                                    repetition=0, result=result))
@@ -64,7 +65,8 @@ def main() -> None:
     print("\nBest practices for the worst offender:")
     worst = max(all_findings, key=lambda n: len(all_findings[n]))
     for trace in selected[:1]:
-        result = run_session(worst, trace, duration_s=duration)
+        spec = RunSpec(service=worst, trace=trace, duration_s=duration)
+        result = run_one(spec).result
         for practice in recommendations_for(diagnose_service(result)):
             print(f"  [{worst}] {practice.issue.name}: "
                   f"{practice.recommendation}")

@@ -12,7 +12,7 @@ Run:
 
 import sys
 
-from repro import cellular_profiles, run_session
+from repro import RunSpec, cellular_profiles, run_one
 from repro.media.track import StreamType
 from repro.util import to_mbps
 
@@ -27,7 +27,8 @@ def main() -> None:
           f"({trace.scenario.value}, avg {to_mbps(trace.average_bps):.2f} Mbps)")
     print("... running 600 s session ...")
 
-    result = run_session(service, trace, duration_s=600.0)
+    spec = RunSpec(service=service, trace=trace, duration_s=600.0)
+    result = run_one(spec).result
     qoe = result.qoe
 
     print()

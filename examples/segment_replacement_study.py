@@ -15,7 +15,7 @@ Run:
 
 import sys
 
-from repro import cellular_profiles, run_session
+from repro import RunSpec, cellular_profiles, run_one
 from repro.analysis.whatif import analyze_segment_replacement
 from repro.services import exoplayer_config
 from repro.services import testcard_dash_spec
@@ -37,10 +37,10 @@ def main() -> None:
         print(header)
         print("  " + "-" * (len(header) - 2))
         for variant in VARIANTS:
-            result = run_session(
-                spec, trace, duration_s=600.0,
+            result = run_one(
+                RunSpec(service=spec, trace=trace, duration_s=600.0),
                 player_config=exoplayer_config(sr=variant),
-            )
+            ).result
             qoe = result.qoe
             whatif = analyze_segment_replacement(result.analyzer.downloads,
                                                  result.ui)

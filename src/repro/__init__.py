@@ -15,16 +15,33 @@ The package contains two layers:
 
 Quickstart::
 
-    from repro import run_session, cellular_profiles
+    from repro import RunSpec, run_one
 
-    trace = cellular_profiles()[6]          # a mid-bandwidth profile
-    result = run_session("H1", trace, duration_s=300)
-    print(result.qoe.average_displayed_bitrate_bps / 1e6, "Mbps")
-    print(result.qoe.total_stall_s, "s stalled")
+    spec = RunSpec(service="H1", profile_id=7, duration_s=300)
+    outcome = run_one(spec)                 # one run, live result
+    print(outcome.record.qoe.average_displayed_bitrate_bps / 1e6, "Mbps")
+    print(outcome.record.qoe.total_stall_s, "s stalled")
+
+Sweeps go through the same spec type::
+
+    from repro import execute
+
+    outcomes = execute([spec], workers=4)   # fan out over processes
+
+Tracing and metrics ride along — ``run_one(spec, tracer=True)`` fills
+``outcome.trace`` with typed spans and every outcome carries a
+``metrics`` snapshot (see :mod:`repro.obs`).
 """
 
-from repro.core.session import Session, SessionResult, run_session
+from repro.core.session import (
+    ResultFieldMissing,
+    Session,
+    SessionResult,
+    run_session,
+)
 from repro.core.experiment import run_service_over_profiles, summarize_runs
+from repro.core.parallel import RunSpec
+from repro.core.run import RunOutcome, aggregate_metrics, execute, run_one
 from repro.net.traces import cellular_profiles, generate_trace, split_trace
 from repro.net.schedule import ConstantSchedule, StepSchedule, TraceSchedule
 from repro.services import (
@@ -40,8 +57,14 @@ from repro.services import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "ResultFieldMissing",
+    "RunOutcome",
+    "RunSpec",
     "Session",
     "SessionResult",
+    "aggregate_metrics",
+    "execute",
+    "run_one",
     "run_session",
     "run_service_over_profiles",
     "summarize_runs",

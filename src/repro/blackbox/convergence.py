@@ -11,7 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.session import run_session
+from repro.core.parallel import RunSpec
+from repro.core.run import run_one
 from repro.media.track import StreamType
 from repro.net.schedule import ConstantSchedule
 
@@ -43,13 +44,15 @@ def probe_convergence(
     max_stable_levels: int = 2,
     max_stable_switches: int = 3,
 ) -> ConvergenceProbe:
-    result = run_session(
-        spec_or_name,
-        ConstantSchedule(bandwidth_bps),
-        duration_s=duration_s,
-        content_duration_s=duration_s + 200.0,
-        dt=dt,
-    )
+    result = run_one(
+        RunSpec(
+            service=spec_or_name,
+            schedule=ConstantSchedule(bandwidth_bps),
+            duration_s=duration_s,
+            content_duration_s=duration_s + 200.0,
+            dt=dt,
+        )
+    ).result
     steady = [
         d
         for d in result.analyzer.media_downloads(StreamType.VIDEO)

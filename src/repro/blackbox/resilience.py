@@ -12,7 +12,7 @@ setting and with fast-forward on or off.
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, field
 from typing import Optional, Sequence, Union
 
 from repro.analysis.faults import (
@@ -21,9 +21,11 @@ from repro.analysis.faults import (
     SeededErrors,
     SeededTruncation,
 )
-from repro.core.parallel import RunRecord, RunSpec, SweepRunner
+from repro.core.parallel import RunRecord, RunSpec
+from repro.core.run import aggregate_metrics, execute
 from repro.net.faults import DeadAirWindow, LatencySpikeWindow
 from repro.net.http import ContentKind
+from repro.obs import MetricsSnapshot
 from repro.services.profiles import ALL_SERVICE_NAMES, ServiceSpec
 
 
@@ -135,6 +137,10 @@ class ResilienceReport:
     fast_forward: bool
     scenarios: tuple[FaultScenario, ...]
     cells: tuple[ResilienceCell, ...]
+    # Sweep-wide aggregated metrics.  Excluded from equality: tick-mode
+    # counters legitimately differ across fast-forward settings while
+    # the report's semantic content stays identical.
+    metrics: Optional[MetricsSnapshot] = field(default=None, compare=False)
 
     def cell(self, service: str, scenario: str) -> ResilienceCell:
         for cell in self.cells:
@@ -238,12 +244,12 @@ def run_resilience_sweep(
                     config_overrides=scenario.config_overrides,
                 )
             )
-    records = SweepRunner(workers).run(specs)
+    outcomes = execute(specs, workers=workers)
     cells = []
     index = 0
     for scenario in scenarios:
         for _ in services:
-            cells.append(_cell_from_record(records[index], scenario))
+            cells.append(_cell_from_record(outcomes[index].record, scenario))
             index += 1
     return ResilienceReport(
         profile_id=profile_id,
@@ -251,4 +257,5 @@ def run_resilience_sweep(
         fast_forward=fast_forward,
         scenarios=tuple(scenarios),
         cells=tuple(cells),
+        metrics=aggregate_metrics(outcomes),
     )

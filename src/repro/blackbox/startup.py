@@ -11,7 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.session import run_session
+from repro.core.parallel import RunSpec
+from repro.core.run import run_one
 from repro.media.track import StreamType
 from repro.net.schedule import ConstantSchedule
 from repro.util import mbps
@@ -38,14 +39,16 @@ def probe_startup_buffer(
     schedule = ConstantSchedule(bandwidth_bps)
     last_result = None
     for n in range(1, max_segments + 1):
-        result = run_session(
-            spec_or_name,
-            schedule,
-            duration_s=wait_s,
-            content_duration_s=content_duration_s,
+        result = run_one(
+            RunSpec(
+                service=spec_or_name,
+                schedule=schedule,
+                duration_s=wait_s,
+                content_duration_s=content_duration_s,
+                dt=dt,
+            ),
             reject_after_segments=n,
-            dt=dt,
-        )
+        ).result
         last_result = result
         if result.playback_started:
             timeline = result.analyzer.video_timeline()

@@ -13,7 +13,8 @@ from dataclasses import dataclass
 from statistics import mean
 from typing import Optional, Sequence
 
-from repro.core.session import run_session
+from repro.core.parallel import RunSpec
+from repro.core.run import run_one
 from repro.net.traces import CellularTrace, cellular_profiles, split_trace
 from repro.services.exoplayer import exoplayer_config, testcard_dash_spec
 
@@ -68,13 +69,15 @@ def startup_sweep(
                 started = 0
                 delays: list[float] = []
                 for trace in profiles:
-                    result = run_session(
-                        spec,
-                        trace,
-                        duration_s=run_duration_s,
+                    result = run_one(
+                        RunSpec(
+                            service=spec,
+                            trace=trace,
+                            duration_s=run_duration_s,
+                            dt=dt,
+                        ),
                         player_config=config,
-                        dt=dt,
-                    )
+                    ).result
                     if result.true_stall_count > 0:
                         stalls += 1
                     delay = result.true_startup_delay_s

@@ -10,7 +10,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.session import run_session
+from repro.core.parallel import RunSpec
+from repro.core.run import run_one
 from repro.media.track import StreamType
 from repro.net.schedule import StepSchedule
 
@@ -36,13 +37,15 @@ def probe_step_response(
 ) -> StepProbe:
     """Drop bandwidth at ``step_at_s`` and watch the first down-switch."""
     schedule = StepSchedule.single_step(high_bps, low_bps, step_at_s)
-    result = run_session(
-        spec_or_name,
-        schedule,
-        duration_s=duration_s,
-        content_duration_s=duration_s + 300.0,
-        dt=dt,
-    )
+    result = run_one(
+        RunSpec(
+            service=spec_or_name,
+            schedule=schedule,
+            duration_s=duration_s,
+            content_duration_s=duration_s + 300.0,
+            dt=dt,
+        )
+    ).result
     downloads = [
         d
         for d in result.analyzer.media_downloads(StreamType.VIDEO)

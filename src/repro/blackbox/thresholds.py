@@ -11,7 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from statistics import median
 
-from repro.core.session import run_session
+from repro.core.parallel import RunSpec
+from repro.core.run import run_one
 from repro.media.track import StreamType
 from repro.net.schedule import ConstantSchedule
 from repro.util import mbps
@@ -61,13 +62,15 @@ def probe_download_thresholds(
     dt: float = 0.1,
 ) -> ThresholdProbe:
     """Measure pausing/resuming thresholds from the on-off pattern."""
-    result = run_session(
-        spec_or_name,
-        ConstantSchedule(bandwidth_bps),
-        duration_s=duration_s,
-        content_duration_s=duration_s + 400.0,  # never run out of content
-        dt=dt,
-    )
+    result = run_one(
+        RunSpec(
+            service=spec_or_name,
+            schedule=ConstantSchedule(bandwidth_bps),
+            duration_s=duration_s,
+            content_duration_s=duration_s + 400.0,  # never run out of content
+            dt=dt,
+        )
+    ).result
     downloads = result.analyzer.media_downloads()
     gaps = _download_gaps(downloads)
     estimator = result.buffer_estimator

@@ -17,7 +17,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.session import run_session
+from repro.core.parallel import RunSpec
+from repro.core.run import run_one
 from repro.manifest.modifier import drop_lowest_track_variant, shift_tracks_variant
 from repro.media.track import StreamType
 from repro.net.schedule import ConstantSchedule
@@ -126,15 +127,17 @@ def run_variant_experiment(
     service_name = ""
     for bandwidth in bandwidths_bps:
         for variant, rewriter in rewriters.items():
-            result = run_session(
-                spec_or_name,
-                ConstantSchedule(bandwidth),
-                duration_s=duration_s,
-                content_duration_s=duration_s + 120.0,
+            result = run_one(
+                RunSpec(
+                    service=spec_or_name,
+                    schedule=ConstantSchedule(bandwidth),
+                    duration_s=duration_s,
+                    content_duration_s=duration_s + 120.0,
+                    dt=dt,
+                ),
                 manifest_rewriter=rewriter,
-                dt=dt,
                 player_config=player_config,
-            )
+            ).result
             service_name = result.service_name
             level, declared = _steady_selection(result, warmup_s)
             runs.append(

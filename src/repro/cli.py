@@ -4,15 +4,23 @@ Commands mirror the library's main entry points:
 
 * ``run SERVICE [--profile N | --bandwidth MBPS] [--duration S]`` —
   stream one service and print its QoE report;
+* ``trace SERVICE [--profile N | --bandwidth MBPS] [--duration S]
+  [--fast-forward] [--jsonl PATH]`` — stream one service with the trace
+  spine enabled and render the session timeline;
 * ``compare [SERVICES...] [--profiles N,N] [--duration S] [--workers N]
-  [--fast-forward]`` — the cross-sectional comparison table, optionally
-  fanned out over worker processes via the sweep engine;
+  [--fast-forward] [--metrics-json PATH]`` — the cross-sectional
+  comparison table, optionally fanned out over worker processes;
 * ``probe SERVICE`` — black-box recovery of a Table 1 column;
 * ``resilience [SERVICES...] [--scenarios A,B] [--profile N]
-  [--duration S] [--workers N] [--no-fast-forward] [--json PATH]`` —
-  the services x fault-scenarios sweep (stalls, failures, give-ups);
+  [--duration S] [--workers N] [--no-fast-forward] [--json PATH]
+  [--metrics-json PATH]`` — the services x fault-scenarios sweep
+  (stalls, failures, give-ups);
 * ``services`` — list the modelled services and their designs;
 * ``profiles`` — list the 14 cellular bandwidth profiles.
+
+Every command executes through the unified run API
+(:mod:`repro.core.run`): a command builds :class:`RunSpec`s and hands
+them to ``run_one`` / ``execute``.
 """
 
 from __future__ import annotations
@@ -21,10 +29,16 @@ import argparse
 import sys
 
 from repro.analysis.report import render_comparison, render_qoe_report
-from repro.core.experiment import run_service_over_profiles, summarize_runs
-from repro.core.session import run_session
+from repro.core.experiment import (
+    ProfileRun,
+    profile_sweep_specs,
+    summarize_runs,
+)
+from repro.core.parallel import RunSpec
+from repro.core.run import aggregate_metrics, execute, run_one
 from repro.net.schedule import ConstantSchedule
 from repro.net.traces import cellular_profiles
+from repro.obs import TraceConfig, render_timeline
 from repro.services import ALL_SERVICE_NAMES, get_service
 from repro.util import mbps, to_mbps
 
@@ -44,6 +58,19 @@ def _build_parser() -> argparse.ArgumentParser:
                             help="constant bandwidth in Mbps")
     run_parser.add_argument("--duration", type=float, default=300.0)
 
+    trace_parser = commands.add_parser(
+        "trace", help="stream one service and render its trace timeline")
+    trace_parser.add_argument("service", choices=ALL_SERVICE_NAMES)
+    trace_parser.add_argument("--profile", type=int, default=None,
+                              help="cellular profile id (1-14)")
+    trace_parser.add_argument("--bandwidth", type=float, default=None,
+                              help="constant bandwidth in Mbps")
+    trace_parser.add_argument("--duration", type=float, default=120.0)
+    trace_parser.add_argument("--fast-forward", action="store_true",
+                              help="skip provably idle ticks")
+    trace_parser.add_argument("--jsonl", default=None, metavar="PATH",
+                              help="also write the trace as JSON lines")
+
     compare_parser = commands.add_parser("compare",
                                          help="compare services")
     compare_parser.add_argument("services", nargs="*",
@@ -55,6 +82,9 @@ def _build_parser() -> argparse.ArgumentParser:
                                 help="worker processes (0 = serial)")
     compare_parser.add_argument("--fast-forward", action="store_true",
                                 help="skip provably idle ticks")
+    compare_parser.add_argument("--metrics-json", default=None,
+                                metavar="PATH",
+                                help="write aggregated sweep metrics as JSON")
 
     probe_parser = commands.add_parser("probe",
                                        help="black-box probe a service")
@@ -76,6 +106,8 @@ def _build_parser() -> argparse.ArgumentParser:
                             help="run every tick serially")
     res_parser.add_argument("--json", default=None, metavar="PATH",
                             help="also write the report as JSON")
+    res_parser.add_argument("--metrics-json", default=None, metavar="PATH",
+                            help="write aggregated sweep metrics as JSON")
 
     commands.add_parser("services", help="list modelled services")
     commands.add_parser("profiles", help="list cellular profiles")
@@ -97,9 +129,36 @@ def _cmd_run(args) -> int:
     source = (f"profile {profile_id}" if profile_id
               else f"constant {args.bandwidth} Mbps")
     print(f"Running {args.service} over {source} for {args.duration:.0f} s")
-    result = run_session(args.service, schedule, duration_s=args.duration)
+    spec = RunSpec(
+        service=args.service, schedule=schedule, duration_s=args.duration
+    )
+    result = run_one(spec).result
     print()
     print(render_qoe_report(result))
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    schedule, profile_id = _schedule_for(args)
+    source = (f"profile {profile_id}" if profile_id
+              else f"constant {args.bandwidth} Mbps")
+    print(f"Tracing {args.service} over {source} for {args.duration:.0f} s")
+    spec = RunSpec(
+        service=args.service,
+        schedule=schedule,
+        duration_s=args.duration,
+        fast_forward=args.fast_forward,
+    )
+    tracer = (
+        TraceConfig(sink="jsonl", path=args.jsonl)
+        if args.jsonl
+        else True
+    )
+    outcome = run_one(spec, tracer=tracer)
+    print()
+    print(render_timeline(outcome.trace))
+    if args.jsonl:
+        print(f"\nwrote {args.jsonl}")
     return 0
 
 
@@ -110,13 +169,20 @@ def _cmd_compare(args) -> int:
     profiles = cellular_profiles(int(args.duration))
     selected = [profiles[pid - 1] for pid in profile_ids]
     summaries = []
+    all_outcomes = []
     for name in args.services:
-        runs = run_service_over_profiles(
+        specs = profile_sweep_specs(
             name, selected, duration_s=args.duration,
-            workers=args.workers, fast_forward=args.fast_forward,
+            fast_forward=args.fast_forward,
         )
+        outcomes = execute(specs, workers=args.workers)
+        all_outcomes.extend(outcomes)
+        runs = [ProfileRun.from_outcome(outcome) for outcome in outcomes]
         summaries.append(summarize_runs(runs))
     print(render_comparison(summaries))
+    if args.metrics_json:
+        aggregate_metrics(all_outcomes).write_json(args.metrics_json)
+        print(f"\nwrote {args.metrics_json}")
     return 0
 
 
@@ -178,6 +244,9 @@ def _cmd_resilience(args) -> int:
         with open(args.json, "w") as handle:
             json.dump(report.to_json(), handle, indent=2)
         print(f"\nwrote {args.json}")
+    if args.metrics_json:
+        report.metrics.write_json(args.metrics_json)
+        print(f"\nwrote {args.metrics_json}")
     return 0
 
 
@@ -208,6 +277,7 @@ def _cmd_profiles(args) -> int:
 
 _COMMANDS = {
     "run": _cmd_run,
+    "trace": _cmd_trace,
     "compare": _cmd_compare,
     "probe": _cmd_probe,
     "resilience": _cmd_resilience,

@@ -1,9 +1,15 @@
-"""Core orchestration: sessions, experiment sweeps, best practices."""
+"""Core orchestration: sessions, the run API, sweeps, best practices."""
 
-from repro.core.session import Session, SessionResult, run_session
+from repro.core.session import (
+    ResultFieldMissing,
+    Session,
+    SessionResult,
+    run_session,
+)
 from repro.core.multi import ClientResult, MultiSession, run_shared_link
 from repro.core.experiment import (
     ProfileRun,
+    profile_sweep_specs,
     run_service_over_profiles,
     summarize_runs,
 )
@@ -11,12 +17,14 @@ from repro.core.parallel import (
     RunRecord,
     RunSpec,
     SweepRunner,
+    TickStats,
     default_worker_count,
     execute_run_spec,
     parallel_map,
     record_from_result,
     sweep_grid,
 )
+from repro.core.run import RunOutcome, aggregate_metrics, execute, run_one
 from repro.core.bestpractices import (
     BestPractice,
     Finding,
@@ -27,6 +35,7 @@ from repro.core.bestpractices import (
 )
 
 __all__ = [
+    "ResultFieldMissing",
     "Session",
     "SessionResult",
     "run_session",
@@ -34,16 +43,22 @@ __all__ = [
     "MultiSession",
     "run_shared_link",
     "ProfileRun",
+    "profile_sweep_specs",
     "run_service_over_profiles",
     "summarize_runs",
     "RunRecord",
     "RunSpec",
     "SweepRunner",
+    "TickStats",
     "default_worker_count",
     "execute_run_spec",
     "parallel_map",
     "record_from_result",
     "sweep_grid",
+    "RunOutcome",
+    "aggregate_metrics",
+    "execute",
+    "run_one",
     "BestPractice",
     "Finding",
     "Issue",

@@ -5,7 +5,7 @@ profiles for 10 minutes, repeating runs to wash out transients.  These
 helpers do the same against the synthetic profiles, with duration and
 repetition knobs so tests and benchmarks can trade fidelity for time.
 
-Execution is delegated to the sweep engine (:mod:`repro.core.parallel`):
+Execution is delegated to the unified run API (:mod:`repro.core.run`):
 ``workers=0`` (the default) runs in process and keeps the full live
 :class:`~repro.core.session.SessionResult` on each run; ``workers>0``
 fans the grid over worker processes and keeps only the compact
@@ -15,14 +15,21 @@ identical either way.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from statistics import mean, median
 from typing import Optional, Sequence
 
-from repro.core.parallel import RunRecord, RunSpec, SweepRunner
-from repro.core.session import SessionResult
+from repro.core.parallel import RunRecord, RunSpec
+from repro.core.run import RunOutcome, execute, run_one
+from repro.core.session import ResultFieldMissing, SessionResult
 from repro.net.traces import CellularTrace, cellular_profiles
-from repro.player.config import PlayerConfig
+from repro.player.config import (
+    PlayerConfig,
+    UnpicklableConfigOverride,
+    config_overrides_between,
+)
+from repro.services.profiles import get_service
 
 
 @dataclass
@@ -44,8 +51,56 @@ class ProfileRun:
     def qoe(self):
         if self.result is not None:
             return self.result.qoe
-        assert self.record is not None, "ProfileRun carries neither result nor record"
+        if self.record is None:
+            raise ResultFieldMissing(
+                "qoe", "a ProfileRun carrying neither result nor record"
+            )
         return self.record.qoe
+
+    @classmethod
+    def from_outcome(cls, outcome: RunOutcome) -> "ProfileRun":
+        return cls(
+            service_name=outcome.record.service_name,
+            profile_id=outcome.spec.profile_id,
+            repetition=outcome.spec.repetition,
+            result=outcome.result,
+            record=outcome.record,
+        )
+
+
+def profile_sweep_specs(
+    spec_or_name,
+    profiles: Optional[Sequence[CellularTrace]] = None,
+    *,
+    duration_s: float = 600.0,
+    repetitions: int = 1,
+    dt: float = 0.1,
+    fast_forward: bool = False,
+    transfer_fast_forward: Optional[bool] = None,
+    config_overrides: tuple[tuple[str, object], ...] = (),
+) -> list[RunSpec]:
+    """Specs for one service over every profile (x repetitions).
+
+    The spec-building half of the old ``run_service_over_profiles``;
+    hand the result to :func:`repro.core.run.execute`.
+    """
+    if profiles is None:
+        profiles = cellular_profiles(int(duration_s))
+    return [
+        RunSpec(
+            service=spec_or_name,
+            profile_id=trace.profile_id,
+            repetition=repetition,
+            duration_s=duration_s,
+            dt=dt,
+            trace=trace,
+            fast_forward=fast_forward,
+            transfer_fast_forward=transfer_fast_forward,
+            config_overrides=config_overrides,
+        )
+        for trace in profiles
+        for repetition in range(repetitions)
+    ]
 
 
 def run_service_over_profiles(
@@ -60,76 +115,54 @@ def run_service_over_profiles(
     fast_forward: bool = False,
     transfer_fast_forward: Optional[bool] = None,
 ) -> list[ProfileRun]:
-    """Run a service over every profile (x repetitions)."""
-    if profiles is None:
-        profiles = cellular_profiles(int(duration_s))
-    if player_config is not None and workers > 0:
-        raise ValueError(
-            "player_config holds unpicklable factories; use workers=0 "
-            "or express the change as RunSpec.config_overrides"
-        )
-    specs = [
-        RunSpec(
-            service=spec_or_name,
-            profile_id=trace.profile_id,
-            repetition=repetition,
-            duration_s=duration_s,
-            dt=dt,
-            trace=trace,
-            fast_forward=fast_forward,
-            transfer_fast_forward=transfer_fast_forward,
-        )
-        for trace in profiles
-        for repetition in range(repetitions)
-    ]
-    runner = SweepRunner(workers=workers)
-    runs: list[ProfileRun] = []
-    if workers > 0:
-        for spec, record in zip(specs, runner.run(specs)):
-            runs.append(
-                ProfileRun(
-                    service_name=record.service_name,
-                    profile_id=spec.profile_id,
-                    repetition=spec.repetition,
-                    record=record,
-                )
-            )
-        return runs
-    if player_config is not None:
-        # Live path for factory-carrying configs (unpicklable, serial only).
-        from repro.core.session import run_session
+    """Deprecated shim: run a service over every profile (x repetitions).
 
-        for spec in specs:
-            result = run_session(
-                spec_or_name,
-                spec.resolved_trace(),
-                duration_s=duration_s,
-                player_config=player_config,
-                dt=dt,
-                content_seed=spec.resolved_content_seed,
-                fast_forward=fast_forward,
-                transfer_fast_forward=transfer_fast_forward,
-            )
-            runs.append(
-                ProfileRun(
-                    service_name=result.service_name,
-                    profile_id=spec.profile_id,
-                    repetition=spec.repetition,
-                    result=result,
-                )
-            )
-        return runs
-    for spec, (record, result) in zip(specs, runner.run_with_results(specs)):
-        runs.append(
-            ProfileRun(
-                service_name=record.service_name,
-                profile_id=spec.profile_id,
-                repetition=spec.repetition,
-                result=result,
-                record=record,
-            )
+    Use :func:`profile_sweep_specs` + :func:`repro.core.run.execute`.  A
+    ``player_config`` that only tweaks plain fields of the service
+    default (``dataclasses.replace`` style) is converted to picklable
+    ``config_overrides`` and works with any ``workers`` value; a config
+    carrying foreign algorithm factories still needs ``workers=0`` (the
+    historical "unpicklable" ``ValueError`` otherwise).
+    """
+    warnings.warn(
+        "run_service_over_profiles is deprecated; build specs with "
+        "profile_sweep_specs (or RunSpec directly) and run them with "
+        "repro.core.run.execute",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    overrides: tuple[tuple[str, object], ...] = ()
+    live_config: Optional[PlayerConfig] = None
+    if player_config is not None:
+        service = (
+            get_service(spec_or_name)
+            if isinstance(spec_or_name, str)
+            else spec_or_name
         )
-    return runs
+        try:
+            overrides = config_overrides_between(
+                service.player_config(), player_config
+            )
+        except UnpicklableConfigOverride:
+            if workers > 0:
+                raise
+            live_config = player_config
+    specs = profile_sweep_specs(
+        spec_or_name,
+        profiles,
+        duration_s=duration_s,
+        repetitions=repetitions,
+        dt=dt,
+        fast_forward=fast_forward,
+        transfer_fast_forward=transfer_fast_forward,
+        config_overrides=overrides,
+    )
+    if live_config is not None:
+        # Live path for factory-carrying configs (unpicklable, serial only).
+        outcomes = [run_one(spec, player_config=live_config) for spec in specs]
+    else:
+        outcomes = execute(specs, workers=workers, keep_results=workers == 0)
+    return [ProfileRun.from_outcome(outcome) for outcome in outcomes]
 
 
 @dataclass(frozen=True)

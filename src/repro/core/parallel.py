@@ -31,10 +31,14 @@ from dataclasses import dataclass, field, replace
 from typing import Callable, Iterable, Optional, Sequence, TypeVar, Union
 
 from repro.analysis.faults import FaultSpec
+from repro.analysis.proxy import ManifestRewriter
 from repro.analysis.qoe import QoeReport
-from repro.core.session import Session, SessionResult
+from repro.core.session import ResultFieldMissing, Session, SessionResult
 from repro.net.rrc import RrcState
+from repro.net.schedule import BandwidthSchedule
 from repro.net.traces import TRACE_SEED, CellularTrace, generate_trace
+from repro.obs import Observability, TraceConfig
+from repro.player.config import PlayerConfig
 from repro.player.events import (
     DownloadFailed,
     SegmentPlayStarted,
@@ -65,10 +69,16 @@ class RunSpec:
     :class:`~repro.player.config.PlayerConfig`; only simple fields can
     be overridden this way, which is exactly what keeps a spec
     picklable (the config's algorithm factories are closures).
+
+    The bandwidth source resolves in priority order: an explicit
+    ``schedule``, else an explicit ``trace``, else the synthetic
+    cellular profile ``profile_id``.  ``tracing`` attaches a trace-spine
+    sink description (picklable; the live tracer is created inside the
+    executing process).
     """
 
     service: Union[str, ServiceSpec]
-    profile_id: int
+    profile_id: int = 0
     repetition: int = 0
     duration_s: float = 600.0
     dt: float = 0.1
@@ -85,6 +95,12 @@ class RunSpec:
     config_overrides: tuple[tuple[str, object], ...] = ()
     # Fault injection (frozen + picklable, so it rides in the spec)
     faults: Optional[FaultSpec] = None
+    # Explicit bandwidth schedule (e.g. ConstantSchedule); overrides
+    # both trace and profile_id.  All stock schedules are frozen
+    # dataclasses, so the spec stays picklable.
+    schedule: Optional[BandwidthSchedule] = None
+    # Observability: per-run trace sink description (None = disabled).
+    tracing: Optional[TraceConfig] = None
 
     @property
     def service_name(self) -> str:
@@ -103,6 +119,61 @@ class RunSpec:
             self.profile_id,
             int(self.trace_duration_s or self.duration_s),
             self.trace_seed,
+        )
+
+    def resolved_schedule(self) -> BandwidthSchedule:
+        if self.schedule is not None:
+            return self.schedule
+        return self.resolved_trace().as_schedule()
+
+    def build(
+        self,
+        *,
+        server: Optional[OriginServer] = None,
+        obs: Optional[Observability] = None,
+        player_config: Optional[PlayerConfig] = None,
+        manifest_rewriter: Optional[ManifestRewriter] = None,
+        reject_after_segments: Optional[int] = None,
+    ) -> Session:
+        """Materialise the spec into a ready-to-run :class:`Session`.
+
+        The single construction path behind every entry point
+        (``run_one``, ``execute``, the deprecated shims): encode + host
+        the service, apply ``config_overrides`` (or an explicit
+        ``player_config`` — live-object extras like it and
+        ``manifest_rewriter`` exist for in-process callers and never
+        ride the spec across workers).
+        """
+        service = (
+            get_service(self.service)
+            if isinstance(self.service, str)
+            else self.service
+        )
+        if player_config is None and self.config_overrides:
+            player_config = replace(
+                service.player_config(), **dict(self.config_overrides)
+            )
+        if server is None:
+            server = OriginServer()
+        built = build_service(
+            service,
+            server,
+            duration_s=self.content_duration_s or self.duration_s,
+            content_seed=self.resolved_content_seed,
+            player_config=player_config,
+        )
+        return Session(
+            built,
+            server,
+            self.resolved_schedule(),
+            dt=self.dt,
+            rtt_s=self.rtt_s,
+            manifest_rewriter=manifest_rewriter,
+            reject_after_segments=reject_after_segments,
+            fast_forward=self.fast_forward,
+            transfer_fast_forward=self.transfer_fast_forward,
+            faults=self.faults,
+            obs=obs,
         )
 
 
@@ -141,8 +212,13 @@ class RunRecord:
 
 def record_from_result(spec: RunSpec, result: SessionResult) -> RunRecord:
     """Distill a live :class:`SessionResult` into a :class:`RunRecord`."""
-    assert result.events is not None and result.qoe is not None
-    assert result.rrc is not None and result.player is not None
+    missing = [
+        name
+        for name in ("events", "qoe", "rrc", "player")
+        if getattr(result, name) is None
+    ]
+    if missing:
+        raise ResultFieldMissing(", ".join(missing), result.replay_path)
     return RunRecord(
         service_name=result.service_name,
         profile_id=spec.profile_id,
@@ -181,33 +257,7 @@ def record_from_result(spec: RunSpec, result: SessionResult) -> RunRecord:
 
 
 def _session_for_spec(spec: RunSpec) -> Session:
-    schedule = spec.resolved_trace().as_schedule()
-    server = OriginServer()
-    service = (
-        get_service(spec.service) if isinstance(spec.service, str) else spec.service
-    )
-    player_config = None
-    if spec.config_overrides:
-        player_config = replace(
-            service.player_config(), **dict(spec.config_overrides)
-        )
-    built = build_service(
-        service,
-        server,
-        duration_s=spec.content_duration_s or spec.duration_s,
-        content_seed=spec.resolved_content_seed,
-        player_config=player_config,
-    )
-    return Session(
-        built,
-        server,
-        schedule,
-        dt=spec.dt,
-        rtt_s=spec.rtt_s,
-        fast_forward=spec.fast_forward,
-        transfer_fast_forward=spec.transfer_fast_forward,
-        faults=spec.faults,
-    )
+    return spec.build()
 
 
 def execute_run_spec(spec: RunSpec) -> RunRecord:

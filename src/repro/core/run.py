@@ -1,0 +1,161 @@
+"""The unified run API: one entry point for every way to execute runs.
+
+Historically the repo grew three divergent entry points — ``run_session``
+(one live session), ``run_service_over_profiles`` (a serial-or-parallel
+profile sweep with its own kwargs), and the resilience sweep (raw
+``SweepRunner`` plumbing).  This module collapses them onto a single
+RunSpec-first shape:
+
+    spec = RunSpec(service="H1", profile_id=9, duration_s=120.0)
+    outcome = run_one(spec, tracer=True)       # one run, live result
+    outcomes = execute(specs, workers=4)       # a sweep, any backend
+
+Every execution path flows through :meth:`RunSpec.build`, and every
+result is a :class:`RunOutcome` carrying the compact record, tick
+accounting, the run's metrics snapshot and (when tracing) its trace —
+all picklable, so ``workers=N`` returns exactly what ``workers=0``
+returns, in spec order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Sequence, Union
+
+from repro.core.parallel import (
+    RunRecord,
+    RunSpec,
+    TickStats,
+    parallel_map,
+    record_from_result,
+)
+from repro.core.session import SessionResult
+from repro.obs import (
+    MetricsSnapshot,
+    Observability,
+    PhaseStat,
+    TraceConfig,
+    TraceEvent,
+)
+
+#: What ``tracer=`` accepts: nothing, "just collect" (unbounded ring
+#: buffer), or a full sink description.
+TracerSpec = Union[None, bool, TraceConfig]
+
+
+@dataclass(frozen=True)
+class RunOutcome:
+    """Everything one executed :class:`RunSpec` produced.
+
+    The comparable fields (spec, record, tick stats, metrics, trace)
+    are pure functions of the spec, so outcomes from any worker count
+    compare equal with ``==``.  ``result`` (the live session graph, only
+    on in-process runs that asked for it) and ``profile`` (wall-clock
+    phase accounting) are excluded from comparison.
+    """
+
+    spec: RunSpec
+    record: RunRecord
+    tick_stats: TickStats
+    metrics: MetricsSnapshot
+    trace: tuple[TraceEvent, ...] = ()
+    profile: tuple[PhaseStat, ...] = field(default=(), compare=False)
+    result: Optional[SessionResult] = field(
+        default=None, repr=False, compare=False
+    )
+
+
+def _resolve_tracing(spec: RunSpec, tracer: TracerSpec) -> RunSpec:
+    """Attach the sweep-level tracer request to a spec lacking one."""
+    if tracer is None or tracer is False or spec.tracing is not None:
+        return spec
+    config = tracer if isinstance(tracer, TraceConfig) else TraceConfig()
+    return replace(spec, tracing=config)
+
+
+def run_one(
+    spec: RunSpec,
+    *,
+    tracer: TracerSpec = None,
+    profile: bool = False,
+    keep_result: bool = True,
+    **build_extras,
+) -> RunOutcome:
+    """Execute one spec in process and return its full outcome.
+
+    ``build_extras`` (``player_config``, ``manifest_rewriter``,
+    ``reject_after_segments``, ``server``) pass straight to
+    :meth:`RunSpec.build` — they may hold live objects, which is fine
+    here because nothing crosses a process boundary.
+    """
+    spec = _resolve_tracing(spec, tracer)
+    obs = Observability.create(
+        spec.tracing,
+        service=spec.service_name,
+        profile_id=spec.profile_id,
+        repetition=spec.repetition,
+        profile=profile,
+    )
+    session = spec.build(obs=obs, **build_extras)
+    result = session.run(spec.duration_s)
+    closer = getattr(obs.tracer, "close", None)
+    if closer is not None:  # flush file-backed sinks (JSONL)
+        closer()
+    return RunOutcome(
+        spec=spec,
+        record=record_from_result(spec, result),
+        tick_stats=TickStats.from_session(session),
+        metrics=obs.metrics.snapshot(),
+        trace=obs.tracer.events(),
+        profile=obs.profiler.snapshot() if obs.profiler is not None else (),
+        result=result if keep_result else None,
+    )
+
+
+def _outcome_task(args: tuple[RunSpec, bool]) -> RunOutcome:
+    """Module-level worker task (hence pool-picklable)."""
+    spec, profile = args
+    return run_one(spec, profile=profile, keep_result=False)
+
+
+def execute(
+    specs: Sequence[RunSpec],
+    *,
+    workers: int = 0,
+    tracer: TracerSpec = None,
+    profile: bool = False,
+    keep_results: bool = False,
+    chunksize: int = 1,
+) -> list[RunOutcome]:
+    """Execute a batch of specs, serially or over worker processes.
+
+    The single sweep entry point: ``workers=0`` runs in process (and may
+    keep live results); ``workers=N`` fans out over N processes.  The
+    comparable parts of the outcomes are identical either way, in spec
+    order.  ``tracer`` applies to every spec that does not already carry
+    its own ``tracing`` config.
+    """
+    if workers < 0:
+        raise ValueError(f"workers must be >= 0, got {workers}")
+    if keep_results and workers > 0:
+        raise ValueError(
+            "keep_results needs workers=0: live session graphs hold "
+            "unpicklable objects and cannot cross process boundaries"
+        )
+    specs = [_resolve_tracing(spec, tracer) for spec in specs]
+    if workers == 0:
+        return [
+            run_one(spec, profile=profile, keep_result=keep_results)
+            for spec in specs
+        ]
+    return parallel_map(
+        _outcome_task,
+        [(spec, profile) for spec in specs],
+        workers=workers,
+        chunksize=chunksize,
+    )
+
+
+def aggregate_metrics(outcomes: Sequence[RunOutcome]) -> MetricsSnapshot:
+    """Merge per-run metrics across a sweep (counters/histograms sum)."""
+    return MetricsSnapshot.merge(outcome.metrics for outcome in outcomes)

@@ -10,7 +10,9 @@ methodology's view (flows → analyzer → QoE) and the ground truth
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Optional
 
 from repro.analysis.bufferinfer import BufferEstimator
@@ -24,11 +26,33 @@ from repro.net.network import Network
 from repro.net.rrc import RrcMachine
 from repro.net.schedule import BandwidthSchedule
 from repro.net.traces import CellularTrace
+from repro.obs import FfJump, Observability
 from repro.player.config import PlayerConfig
 from repro.player.events import EventLog
 from repro.player.player import Player, PlayerState
 from repro.server.origin import OriginServer
-from repro.services.profiles import BuiltService, build_service
+from repro.services.profiles import BuiltService
+
+
+class ResultFieldMissing(RuntimeError):
+    """A :class:`SessionResult` accessor needs a field its replay path
+    did not populate.
+
+    Carries the field name and the provenance of the result, so the
+    message explains *which* construction path (e.g. a compact
+    ``RunRecord`` rehydration) dropped the data, instead of a bare
+    ``AssertionError``.
+    """
+
+    def __init__(self, fields: str, replay_path: str):
+        self.fields = fields
+        self.replay_path = replay_path
+        super().__init__(
+            f"SessionResult field(s) {fields} not populated: this result "
+            f"came from {replay_path}, which does not carry live session "
+            "objects. Re-run with a live path (workers=0 / "
+            "execute(..., keep_results=True)) to access them."
+        )
 
 
 @dataclass
@@ -37,7 +61,9 @@ class SessionResult:
 
     The heavyweight fields are genuinely optional: compact replay paths
     (e.g. records deserialized by the sweep engine) may construct a
-    result without live player/proxy objects.
+    result without live player/proxy objects.  ``replay_path`` names
+    the construction path for error messages when an accessor needs a
+    missing field.
     """
 
     service_name: str
@@ -50,28 +76,34 @@ class SessionResult:
     qoe: Optional[QoeReport] = field(repr=False, default=None)
     rrc: Optional[RrcMachine] = field(repr=False, default=None)
     player: Optional[Player] = field(repr=False, default=None)
+    replay_path: str = field(default="a partially-populated constructor call",
+                             compare=False)
+
+    def _require(self, **named: object):
+        missing = [name for name, value in named.items() if value is None]
+        if missing:
+            raise ResultFieldMissing(", ".join(missing), self.replay_path)
+        values = list(named.values())
+        return values[0] if len(values) == 1 else values
 
     @property
     def buffer_estimator(self) -> BufferEstimator:
-        assert self.analyzer is not None and self.ui is not None
-        return BufferEstimator(self.analyzer, self.ui)
+        analyzer, ui = self._require(analyzer=self.analyzer, ui=self.ui)
+        return BufferEstimator(analyzer, ui)
 
     # Ground-truth shortcuts (validated against the methodology in tests)
 
     @property
     def true_stall_s(self) -> float:
-        assert self.events is not None
-        return self.events.total_stall_s()
+        return self._require(events=self.events).total_stall_s()
 
     @property
     def true_stall_count(self) -> int:
-        assert self.events is not None
-        return self.events.stall_count()
+        return self._require(events=self.events).stall_count()
 
     @property
     def true_startup_delay_s(self) -> float | None:
-        assert self.events is not None
-        return self.events.startup_delay_s()
+        return self._require(events=self.events).startup_delay_s()
 
     @property
     def playback_started(self) -> bool:
@@ -95,8 +127,10 @@ class Session:
         fast_forward: bool = False,
         transfer_fast_forward: Optional[bool] = None,
         faults: Optional[FaultSpec] = None,
+        obs: Optional[Observability] = None,
     ):
         self.built = built
+        self.obs = obs if obs is not None else Observability()
         self.fast_forward = fast_forward
         # Transfer batching rides on the fast_forward switch; the
         # sub-flag exists so benchmarks can isolate idle-only batching.
@@ -143,10 +177,13 @@ class Session:
             player_config or built.player_config,
             built.manifest_url,
             cipher=built.cipher,
+            tracer=self.obs.tracer,
         )
 
     def run(self, duration_s: float) -> SessionResult:
         """Tick the world until ``duration_s`` or the session ends."""
+        if self.obs.profiler is not None:
+            return self._run_profiled(duration_s)
         dt = self.clock.dt
         while self.clock.now < duration_s - 1e-9:
             if self.fast_forward and self._try_fast_forward(duration_s):
@@ -165,6 +202,60 @@ class Session:
             if self.player.ended and not self.player.scheduler.busy:
                 break
         return self._finish()
+
+    def _run_profiled(self, duration_s: float) -> SessionResult:
+        """The serial loop with per-phase wall-time accounting.
+
+        A separate method (not timers inside :meth:`run`) so the
+        default loop pays nothing when profiling is off.  Phase times
+        accumulate in local floats and reach the profiler once at the
+        end.
+        """
+        profiler = self.obs.profiler
+        assert profiler is not None
+        dt = self.clock.dt
+        wall = {"fast_forward": 0.0, "network": 0.0, "player": 0.0,
+                "rrc": 0.0}
+        calls = {"fast_forward": 0, "network": 0, "player": 0, "rrc": 0}
+        while self.clock.now < duration_s - 1e-9:
+            if self.fast_forward or self.transfer_fast_forward:
+                t0 = perf_counter()
+                jumped = (
+                    self.fast_forward and self._try_fast_forward(duration_s)
+                ) or (
+                    self.transfer_fast_forward
+                    and self._try_transfer_fast_forward(duration_s)
+                )
+                wall["fast_forward"] += perf_counter() - t0
+                calls["fast_forward"] += 1
+                if jumped:
+                    continue
+            t0 = perf_counter()
+            before = self.network.link.total_bytes_delivered
+            self.network.advance(dt)
+            radio_active = self.network.link.total_bytes_delivered > before
+            t1 = perf_counter()
+            self.rrc.observe(radio_active, dt)
+            t2 = perf_counter()
+            self.player.advance(dt)
+            t3 = perf_counter()
+            wall["network"] += t1 - t0
+            wall["rrc"] += t2 - t1
+            wall["player"] += t3 - t2
+            calls["network"] += 1
+            calls["rrc"] += 1
+            calls["player"] += 1
+            self.clock.tick()
+            self.ticks_executed += 1
+            if self.player.ended and not self.player.scheduler.busy:
+                break
+        t0 = perf_counter()
+        result = self._finish()
+        wall["finish"] = perf_counter() - t0
+        calls["finish"] = 1
+        for phase, seconds in wall.items():
+            profiler.add(phase, seconds, calls[phase])
+        return result
 
     def _try_fast_forward(self, duration_s: float) -> bool:
         """Jump over a provably idle stretch; True if the clock moved.
@@ -193,12 +284,17 @@ class Session:
         ticks = self.network.fault_horizon_ticks(ticks, dt)
         if ticks < 2:
             return False
+        window_start = self.clock.now
         player.apply_noop_ticks(ticks, dt)
         for _ in range(ticks):
             self.rrc.observe(False, dt)
             self.clock.tick()
         self.fast_forwarded_ticks += ticks
         self.fast_forward_jumps += 1
+        tracer = self.obs.tracer
+        if tracer.enabled:
+            tracer.emit(FfJump(at=window_start, layer="idle", ticks=ticks,
+                               end_s=self.clock.now))
         return True
 
     def _try_transfer_fast_forward(self, duration_s: float) -> bool:
@@ -239,12 +335,17 @@ class Session:
         executed, activity = network.advance_many(ticks, dt)
         if executed <= 0:
             return False
+        window_start = self.clock.now
         self.player.apply_noop_ticks(executed, dt)
         for radio_active in activity:
             self.rrc.observe(radio_active, dt)
             self.clock.tick()
         self.transfer_fast_forwarded_ticks += executed
         self.transfer_fast_forward_jumps += 1
+        tracer = self.obs.tracer
+        if tracer.enabled:
+            tracer.emit(FfJump(at=window_start, layer="transfer",
+                               ticks=executed, end_s=self.clock.now))
         return True
 
     def _finish(self) -> SessionResult:
@@ -252,6 +353,7 @@ class Session:
         analyzer.observe_flows(self.proxy.flows)
         ui = UiMonitor(self.player.ui_samples)
         qoe = compute_qoe(analyzer, ui, total_bytes=self.proxy.total_bytes())
+        self._record_metrics()
         return SessionResult(
             service_name=self.built.spec.name,
             duration_s=self.clock.now,
@@ -263,7 +365,39 @@ class Session:
             qoe=qoe,
             rrc=self.rrc,
             player=self.player,
+            replay_path="a live Session.run",
         )
+
+    def _record_metrics(self) -> None:
+        """Fill the run's metrics registry from final subsystem state.
+
+        Everything recorded here is a pure function of the run's inputs
+        (nothing wall-clock- or process-dependent), preserving the
+        sweep engine's workers=0 == workers=N aggregation contract.
+        Tick-mode counters differ across fast-forward settings — like
+        TickStats, and by design: they *measure* the batching.
+        """
+        metrics = self.obs.metrics
+        metrics.counter("session.runs").inc()
+        metrics.counter("session.ticks", mode="executed").inc(
+            self.ticks_executed
+        )
+        metrics.counter("session.ticks", mode="idle_ff").inc(
+            self.fast_forwarded_ticks
+        )
+        metrics.counter("session.ticks", mode="transfer_ff").inc(
+            self.transfer_fast_forwarded_ticks
+        )
+        metrics.counter("session.ff_jumps", layer="idle").inc(
+            self.fast_forward_jumps
+        )
+        metrics.counter("session.ff_jumps", layer="transfer").inc(
+            self.transfer_fast_forward_jumps
+        )
+        metrics.counter("session.simulated_seconds").inc(self.clock.now)
+        metrics.counter("rrc.energy_j").inc(self.rrc.energy_j)
+        self.network.metrics_into(metrics)
+        self.player.metrics_into(metrics)
 
 
 def run_session(
@@ -282,27 +416,41 @@ def run_session(
     transfer_fast_forward: Optional[bool] = None,
     faults: Optional[FaultSpec] = None,
 ) -> SessionResult:
-    """Convenience: build a fresh server + service and run one session."""
-    if isinstance(schedule, CellularTrace):
-        schedule = schedule.as_schedule()
-    server = OriginServer()
-    built = build_service(
-        spec_or_name,
-        server,
-        duration_s=content_duration_s or duration_s,
-        content_seed=content_seed,
-        player_config=player_config,
+    """Deprecated shim: build a RunSpec and run it via the unified API.
+
+    Use ``RunSpec(...).build()`` / ``repro.core.run.run_one`` instead;
+    this signature survives so existing notebooks and scripts keep
+    working, at the cost of a :class:`DeprecationWarning`.
+    """
+    warnings.warn(
+        "run_session is deprecated; describe the run as a "
+        "repro.core.RunSpec and use repro.core.run_one / execute instead",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    session = Session(
-        built,
-        server,
-        schedule,
+    # Imported lazily: core.parallel/core.run import this module.
+    from repro.core.parallel import RunSpec
+    from repro.core.run import run_one
+
+    spec = RunSpec(
+        service=spec_or_name,
+        trace=schedule if isinstance(schedule, CellularTrace) else None,
+        schedule=None if isinstance(schedule, CellularTrace) else schedule,
+        duration_s=duration_s,
+        content_duration_s=content_duration_s,
         dt=dt,
         rtt_s=rtt_s,
-        manifest_rewriter=manifest_rewriter,
-        reject_after_segments=reject_after_segments,
+        content_seed=content_seed,
         fast_forward=fast_forward,
         transfer_fast_forward=transfer_fast_forward,
         faults=faults,
     )
-    return session.run(duration_s)
+    outcome = run_one(
+        spec,
+        player_config=player_config,
+        manifest_rewriter=manifest_rewriter,
+        reject_after_segments=reject_after_segments,
+    )
+    result = outcome.result
+    assert result is not None  # run_one keeps the live result
+    return result

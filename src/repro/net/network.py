@@ -170,6 +170,20 @@ class Network:
             if transfer.on_complete is not None:
                 transfer.on_complete(transfer)
 
+    def metrics_into(self, metrics) -> None:
+        """Record transport-level totals into a metrics registry.
+
+        Called once at session end; all values are deterministic
+        functions of the run's inputs (the sweep-aggregation contract).
+        """
+        metrics.counter("net.bytes_delivered").inc(
+            self.link.total_bytes_delivered
+        )
+        metrics.counter("net.connections").inc(len(self.connections))
+        metrics.counter("net.tcp_connects").inc(
+            sum(connection.connects for connection in self.connections)
+        )
+
     def effective_capacity(self, t: float) -> float:
         """Link capacity at ``t`` with tick-level faults applied."""
         if self.faults is not None and self.faults.dead_air_at(t):

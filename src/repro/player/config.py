@@ -9,7 +9,7 @@ objects carry per-session state.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Callable, Optional
 
 from repro.player.abr import AbrAlgorithm, RateBasedAbr
@@ -109,3 +109,42 @@ class PlayerConfig:
         """Pause-resume gap; compared against the LTE RRC demotion timer
         for the energy discussion in section 3.3.2."""
         return self.pause_threshold_s - self.resume_threshold_s
+
+
+#: Fields holding per-session algorithm factories (closures — the
+#: reason a full PlayerConfig cannot ride a RunSpec across processes).
+FACTORY_FIELDS = ("abr_factory", "estimator_factory", "replacement_factory")
+
+
+class UnpicklableConfigOverride(ValueError):
+    """A PlayerConfig diff touches unpicklable factory fields."""
+
+
+def config_overrides_between(
+    base: PlayerConfig, config: PlayerConfig
+) -> tuple[tuple[str, object], ...]:
+    """Express ``config`` as picklable overrides on top of ``base``.
+
+    Returns the (field, value) pairs for which the two configs differ,
+    suitable for ``RunSpec.config_overrides`` — i.e. such that
+    ``replace(base, **dict(result)) == config`` field-for-field.  The
+    algorithm-factory fields must be *identical objects* in both
+    configs (they are closures and cannot cross a process boundary);
+    otherwise :class:`UnpicklableConfigOverride` is raised.  Configs
+    derived from a service spec via ``spec.player_config()`` (cached)
+    plus ``dataclasses.replace`` satisfy this automatically.
+    """
+    for name in FACTORY_FIELDS:
+        if getattr(base, name) is not getattr(config, name):
+            raise UnpicklableConfigOverride(
+                f"player_config field {name!r} holds an unpicklable factory "
+                "that differs from the service default; use workers=0 or "
+                "derive the config with dataclasses.replace from "
+                "spec.player_config() so only simple fields change"
+            )
+    return tuple(
+        (f.name, getattr(config, f.name))
+        for f in fields(PlayerConfig)
+        if f.name not in FACTORY_FIELDS
+        and getattr(base, f.name) != getattr(config, f.name)
+    )

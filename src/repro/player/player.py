@@ -39,6 +39,8 @@ from repro.manifest import (
 from repro.media.track import StreamType
 from repro.net.clock import Clock
 from repro.net.network import Network
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_TRACER, AbrDecision, RebufferSpan, RetryEvent, Tracer
 from repro.player.abr import AbrContext
 from repro.player.buffer import BufferedSegment, PlaybackBuffer
 from repro.player.config import PlayerConfig, SchedulerStrategy
@@ -117,14 +119,17 @@ class Player:
         manifest_url: str,
         *,
         cipher: Optional[ManifestCipher] = None,
+        tracer: Tracer = NULL_TRACER,
     ):
         self.clock = clock
         self.network = network
         self.config = config
         self.manifest_url = manifest_url
         self.cipher = cipher
+        self.tracer = tracer
 
         self.scheduler = _build_scheduler(config, network)
+        self.scheduler.tracer = tracer
         self.abr = config.abr_factory()
         self.estimator = config.estimator_factory()
         self.replacement = config.replacement_factory()
@@ -265,15 +270,7 @@ class Player:
         self._replacement_inflight = False
         # Rebuffer with the startup logic, without counting a stall: the
         # player knows this gap is user-initiated.
-        if self._stall_started_at is not None:
-            self.events.emit(
-                StallEnded(
-                    at=self.clock.now,
-                    position_s=self._play_pos,
-                    duration_s=self.clock.now - self._stall_started_at,
-                )
-            )
-            self._stall_started_at = None
+        self._end_stall()
         self.state = PlayerState.BUFFERING
 
     # -- main loop ------------------------------------------------------------
@@ -585,15 +582,7 @@ class Player:
             return
         if self.state is PlayerState.REBUFFERING:
             if self._rebuffer_ready():
-                assert self._stall_started_at is not None
-                self.events.emit(
-                    StallEnded(
-                        at=now,
-                        position_s=self._play_pos,
-                        duration_s=now - self._stall_started_at,
-                    )
-                )
-                self._stall_started_at = None
+                self._end_stall()
                 self.state = PlayerState.PLAYING
             return
         # PLAYING
@@ -721,16 +710,36 @@ class Player:
             > 0
         )
 
-    def _end_session(self, reason: str) -> None:
-        if self._stall_started_at is not None:
-            self.events.emit(
-                StallEnded(
-                    at=self.clock.now,
+    def _end_stall(self) -> None:
+        """Close an open stall: emit the event and the trace span.
+
+        The single exit path for all three stall terminations (rebuffer
+        resume, seek flush, session end); every caller runs on a serial
+        tick, so the span boundaries are exact in fast-forwarded runs.
+        """
+        if self._stall_started_at is None:
+            return
+        now = self.clock.now
+        self.events.emit(
+            StallEnded(
+                at=now,
+                position_s=self._play_pos,
+                duration_s=now - self._stall_started_at,
+            )
+        )
+        if self.tracer.enabled:
+            self.tracer.emit(
+                RebufferSpan(
+                    at=now,
+                    start_s=self._stall_started_at,
+                    end_s=now,
                     position_s=self._play_pos,
-                    duration_s=self.clock.now - self._stall_started_at,
                 )
             )
-            self._stall_started_at = None
+        self._stall_started_at = None
+
+    def _end_session(self, reason: str) -> None:
+        self._end_stall()
         self.state = PlayerState.ENDED
         self.events.emit(
             SessionEnded(at=self.clock.now, position_s=self._play_pos, reason=reason)
@@ -850,6 +859,26 @@ class Player:
                 and tracks[forced].segments is not None
             ):
                 level = forced
+            if self.tracer.enabled:
+                # This is the only site that commits an ABR output to a
+                # fetch, and it runs exclusively on serial ticks — the
+                # fast-forward layers' window vetting calls
+                # _choose_video_level but never _next_job — so the
+                # emitted decisions are identical across ff modes.
+                self.tracer.emit(
+                    AbrDecision(
+                        at=now,
+                        index=index,
+                        level=level,
+                        previous_level=self._last_selected_level,
+                        buffer_s=self.buffer_s(StreamType.VIDEO),
+                        estimate_bps=(
+                            self.estimator.estimate_bps()
+                            if self.estimator.sample_count() > 0
+                            else None
+                        ),
+                    )
+                )
             self._last_selected_level = level
         segment = tracks[level].segments[index]
         self._pending[stream].add(index)
@@ -1181,6 +1210,22 @@ class Player:
                 gave_up=gave_up,
             )
         )
+        if self.tracer.enabled:
+            # The single funnel for every failure path (metadata,
+            # segment, replacement), already on a serial tick.  The
+            # retry delay is NOT recomputed here: delay_s consumes the
+            # jitter RNG stream, and tracing must not perturb behaviour.
+            self.tracer.emit(
+                RetryEvent(
+                    at=self.clock.now,
+                    job=job.kind.value,
+                    stream=job.stream_type.value,
+                    index=job.index,
+                    level=job.level,
+                    attempts=attempts,
+                    gave_up=gave_up,
+                )
+            )
 
     def _handle_metadata_failure(self, job: FetchJob) -> None:
         """A manifest/playlist/index fetch failed (or failed to parse)."""
@@ -1256,4 +1301,57 @@ class Player:
                 level=job.level or 0,
                 size_bytes=size_bytes,
             )
+        )
+
+    # -- metrics ---------------------------------------------------------------
+
+    def metrics_into(self, metrics: MetricsRegistry) -> None:
+        """Distill the session's event log into the metrics registry.
+
+        One pass over the events at session end; every value is a pure
+        function of the run's inputs (the sweep-aggregation contract).
+        """
+        stall_hist = metrics.histogram("player.stall_duration_s")
+        download_hist = metrics.histogram("player.download_duration_s")
+        last_play_level: int | None = None
+        for event in self.events.events:
+            if isinstance(event, SegmentCompleted):
+                stream = event.stream_type.value
+                metrics.counter(
+                    "player.segments_completed", stream=stream
+                ).inc()
+                metrics.counter(
+                    "player.bytes_downloaded", stream=stream
+                ).inc(event.size_bytes)
+                download_hist.observe(event.download_duration_s)
+                if event.is_replacement:
+                    metrics.counter("player.replacements_completed").inc()
+            elif isinstance(event, StallEnded):
+                metrics.counter("player.stalls").inc()
+                metrics.counter("player.stall_seconds").inc(event.duration_s)
+                stall_hist.observe(event.duration_s)
+            elif isinstance(event, DownloadFailed):
+                metrics.counter(
+                    "player.download_failures", kind=event.kind
+                ).inc()
+                if event.gave_up:
+                    metrics.counter("player.downloads_given_up").inc()
+            elif isinstance(event, SegmentDiscarded):
+                metrics.counter("player.segments_discarded").inc()
+                metrics.counter("player.wasted_bytes").inc(event.size_bytes)
+            elif isinstance(event, SegmentSkipped):
+                metrics.counter("player.segments_skipped").inc()
+            elif isinstance(event, SegmentPlayStarted):
+                if (
+                    last_play_level is not None
+                    and event.level != last_play_level
+                ):
+                    metrics.counter("player.track_switches").inc()
+                last_play_level = event.level
+        startup = self.events.startup_delay_s()
+        if startup is not None:
+            metrics.histogram("player.startup_delay_s").observe(startup)
+        metrics.gauge("player.final_position_s").set(self._play_pos)
+        metrics.counter("player.jobs_completed").inc(
+            self.scheduler.completed_jobs
         )

@@ -28,6 +28,7 @@ from repro.media.track import StreamType
 from repro.net.http import HttpMethod, HttpRequest, HttpResponse
 from repro.net.network import Network
 from repro.net.tcp import TcpConnection
+from repro.obs.trace import NULL_TRACER, DownloadSpan
 
 
 class JobKind(enum.Enum):
@@ -97,6 +98,11 @@ class Scheduler:
     # custom scheduler that frees capacity on a timer must override
     # this with False, which disables download-phase tick batching.
     slots_static_while_busy = True
+
+    # Observability: the player installs its tracer here so completed
+    # jobs emit download spans.  Class-level default keeps construction
+    # signatures unchanged and the disabled path to one attribute read.
+    tracer = NULL_TRACER
 
     def __init__(self, network: Network, *, persistent: bool = True):
         self.network = network
@@ -189,6 +195,23 @@ class Scheduler:
                 response.data for response in responses if response.data
             ) or None,
         )
+        if self.tracer.enabled:
+            # Completions only ever run on serial ticks (both
+            # fast-forward layers stop before any completing tick), so
+            # these span boundaries are exact in batched runs too.
+            self.tracer.emit(
+                DownloadSpan(
+                    at=self.network.clock.now,
+                    job=job.kind.value,
+                    stream=job.stream_type.value,
+                    index=job.index,
+                    level=job.level,
+                    start_s=result.started_at,
+                    end_s=result.completed_at,
+                    size_bytes=result.size_bytes,
+                    success=result.success,
+                )
+            )
         job.on_complete(job, result)
 
 

@@ -28,6 +28,7 @@ startup track at the Table 1 bitrate.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 from typing import Optional
 
@@ -243,7 +244,12 @@ class ServiceSpec:
             audio_tracks=audio_tracks,
         )
 
+    @functools.cache
     def player_config(self) -> PlayerConfig:
+        # Cached so repeated calls return the *same* object: the config
+        # diffing in config_overrides_between compares algorithm
+        # factories by identity, and specs are frozen so the derived
+        # config can never go stale.
         if self.abr_unstable:
             safety = self.abr_safety_factor
 
