@@ -21,6 +21,7 @@ from repro.analysis.faults import (
     SeededErrors,
     SeededTruncation,
 )
+from repro.core.outcome_cache import CacheSpec
 from repro.core.parallel import RunRecord, RunSpec
 from repro.core.run import aggregate_metrics, execute
 from repro.net.faults import DeadAirWindow, LatencySpikeWindow
@@ -218,6 +219,7 @@ def run_resilience_sweep(
     duration_s: float = 120.0,
     workers: int = 0,
     fast_forward: bool = True,
+    cache: CacheSpec = None,
 ) -> ResilienceReport:
     """Run the services x scenarios grid and distill it into a report.
 
@@ -225,7 +227,10 @@ def run_resilience_sweep(
     arguments — records come back in spec order from the sweep engine,
     and each cell is a pure function of its spec — so any ``workers``
     value (and either ``fast_forward`` setting, per the fault-plane
-    change-point contract) yields an identical report.
+    change-point contract) yields an identical report.  ``cache``
+    (sweep-fabric outcome cache) memoises cells: fault specs are frozen
+    data, so a faulted outcome is as content-addressable as a clean
+    one, and a re-run sweep costs disk reads.
     """
     if services is None:
         services = ALL_SERVICE_NAMES
@@ -244,7 +249,7 @@ def run_resilience_sweep(
                     config_overrides=scenario.config_overrides,
                 )
             )
-    outcomes = execute(specs, workers=workers)
+    outcomes = execute(specs, workers=workers, cache=cache)
     cells = []
     index = 0
     for scenario in scenarios:

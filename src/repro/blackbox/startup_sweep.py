@@ -69,7 +69,10 @@ def startup_sweep(
                 started = 0
                 delays: list[float] = []
                 for trace in profiles:
-                    result = run_one(
+                    # Record-level reads with keep_result=False: the
+                    # 50-profile sweep holds compact records instead of
+                    # 50 live session graphs.
+                    record = run_one(
                         RunSpec(
                             service=spec,
                             trace=trace,
@@ -77,17 +80,18 @@ def startup_sweep(
                             dt=dt,
                         ),
                         player_config=config,
-                    ).result
-                    if result.true_stall_count > 0:
+                        keep_result=False,
+                    ).record
+                    if record.true_stall_count > 0:
                         stalls += 1
-                    delay = result.true_startup_delay_s
+                    delay = record.true_startup_delay_s
                     if delay is not None:
                         started += 1
                         delays.append(delay)
                     else:
                         # A session that never started counts as stalled:
                         # the user waited the whole minute.
-                        stalls += 1 if result.true_stall_count == 0 else 0
+                        stalls += 1 if record.true_stall_count == 0 else 0
                 points.append(
                     StartupSweepPoint(
                         segment_duration_s=segment_duration,

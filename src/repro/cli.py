@@ -15,8 +15,14 @@ Commands mirror the library's main entry points:
   [--duration S] [--workers N] [--no-fast-forward] [--json PATH]
   [--metrics-json PATH]`` — the services x fault-scenarios sweep
   (stalls, failures, give-ups);
+* ``cache stats|clear|verify [--cache-dir PATH]`` — inspect or manage
+  the content-addressed outcome cache the sweep commands share;
 * ``services`` — list the modelled services and their designs;
 * ``profiles`` — list the 14 cellular bandwidth profiles.
+
+``compare`` and ``resilience`` accept ``--cache`` (memoise outcomes in
+the default cache directory) or ``--cache-dir PATH``; repeated sweeps
+then cost disk reads instead of simulation.
 
 Every command executes through the unified run API
 (:mod:`repro.core.run`): a command builds :class:`RunSpec`s and hands
@@ -34,6 +40,7 @@ from repro.core.experiment import (
     profile_sweep_specs,
     summarize_runs,
 )
+from repro.core.outcome_cache import resolve_outcome_cache
 from repro.core.parallel import RunSpec
 from repro.core.run import aggregate_metrics, execute, run_one
 from repro.net.schedule import ConstantSchedule
@@ -85,6 +92,7 @@ def _build_parser() -> argparse.ArgumentParser:
     compare_parser.add_argument("--metrics-json", default=None,
                                 metavar="PATH",
                                 help="write aggregated sweep metrics as JSON")
+    _add_cache_arguments(compare_parser)
 
     probe_parser = commands.add_parser("probe",
                                        help="black-box probe a service")
@@ -108,10 +116,32 @@ def _build_parser() -> argparse.ArgumentParser:
                             help="also write the report as JSON")
     res_parser.add_argument("--metrics-json", default=None, metavar="PATH",
                             help="write aggregated sweep metrics as JSON")
+    _add_cache_arguments(res_parser)
+
+    cache_parser = commands.add_parser(
+        "cache", help="manage the content-addressed outcome cache")
+    cache_parser.add_argument("action", choices=("stats", "clear", "verify"))
+    cache_parser.add_argument("--cache-dir", default=None, metavar="PATH",
+                              help="cache directory (default: "
+                                   "$REPRO_CACHE_DIR or the XDG cache dir)")
 
     commands.add_parser("services", help="list modelled services")
     commands.add_parser("profiles", help="list cellular profiles")
     return parser
+
+
+def _add_cache_arguments(parser) -> None:
+    parser.add_argument("--cache", action="store_true",
+                        help="memoise outcomes in the default cache dir")
+    parser.add_argument("--cache-dir", default=None, metavar="PATH",
+                        help="memoise outcomes under PATH (implies --cache)")
+
+
+def _cache_for(args):
+    """Resolve the shared --cache/--cache-dir pair to a cache spec."""
+    if args.cache_dir:
+        return args.cache_dir
+    return True if args.cache else None
 
 
 def _schedule_for(args):
@@ -168,6 +198,7 @@ def _cmd_compare(args) -> int:
     profile_ids = [int(part) for part in args.profiles.split(",") if part]
     profiles = cellular_profiles(int(args.duration))
     selected = [profiles[pid - 1] for pid in profile_ids]
+    cache = resolve_outcome_cache(_cache_for(args))
     summaries = []
     all_outcomes = []
     for name in args.services:
@@ -175,7 +206,7 @@ def _cmd_compare(args) -> int:
             name, selected, duration_s=args.duration,
             fast_forward=args.fast_forward,
         )
-        outcomes = execute(specs, workers=args.workers)
+        outcomes = execute(specs, workers=args.workers, cache=cache)
         all_outcomes.extend(outcomes)
         runs = [ProfileRun.from_outcome(outcome) for outcome in outcomes]
         summaries.append(summarize_runs(runs))
@@ -238,6 +269,7 @@ def _cmd_resilience(args) -> int:
         duration_s=args.duration,
         workers=args.workers,
         fast_forward=not args.no_fast_forward,
+        cache=_cache_for(args),
     )
     print(report.render())
     if args.json:
@@ -247,6 +279,35 @@ def _cmd_resilience(args) -> int:
     if args.metrics_json:
         report.metrics.write_json(args.metrics_json)
         print(f"\nwrote {args.metrics_json}")
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    from repro.core.outcome_cache import OutcomeCache
+
+    cache = OutcomeCache(args.cache_dir) if args.cache_dir else OutcomeCache()
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached outcome(s) from {cache.root}")
+        return 0
+    if args.action == "verify":
+        report = cache.verify()
+        print(f"verified {cache.root} (code fingerprint "
+              f"{cache.fingerprint})")
+        print(f"  ok      : {report.ok}")
+        print(f"  corrupt : {report.corrupt} (removed)")
+        print(f"  stale   : {report.stale} (superseded fingerprints; "
+              f"'cache clear' reclaims them)")
+        return 0 if report.clean else 1
+    stats = cache.stats()
+    print(f"outcome cache at {stats.cache_dir}")
+    print(f"  code fingerprint : {stats.code_fingerprint}")
+    print(f"  entries          : {stats.entries}")
+    print(f"  stale entries    : {stats.stale_entries}")
+    print(f"  size             : {stats.bytes / 1024:.1f} KiB")
+    print(f"  session hits     : {stats.hits}")
+    print(f"  session misses   : {stats.misses}")
+    print(f"  invalidations    : {stats.invalidations}")
     return 0
 
 
@@ -281,6 +342,7 @@ _COMMANDS = {
     "compare": _cmd_compare,
     "probe": _cmd_probe,
     "resilience": _cmd_resilience,
+    "cache": _cmd_cache,
     "services": _cmd_services,
     "profiles": _cmd_profiles,
 }

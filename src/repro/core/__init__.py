@@ -13,16 +13,32 @@ from repro.core.experiment import (
     run_service_over_profiles,
     summarize_runs,
 )
+from repro.core.outcome_cache import (
+    CacheStats,
+    OutcomeCache,
+    UncacheableSpec,
+    code_fingerprint,
+    default_cache_dir,
+    resolve_outcome_cache,
+    spec_key,
+)
 from repro.core.parallel import (
     RunRecord,
     RunSpec,
     SweepRunner,
     TickStats,
+    catalogue_key,
     default_worker_count,
     execute_run_spec,
     parallel_map,
     record_from_result,
     sweep_grid,
+)
+from repro.core.pool import (
+    WorkerPool,
+    active_worker_pool,
+    close_worker_pool,
+    worker_pool,
 )
 from repro.core.run import RunOutcome, aggregate_metrics, execute, run_one
 from repro.core.bestpractices import (
@@ -46,6 +62,18 @@ __all__ = [
     "profile_sweep_specs",
     "run_service_over_profiles",
     "summarize_runs",
+    "CacheStats",
+    "OutcomeCache",
+    "UncacheableSpec",
+    "WorkerPool",
+    "active_worker_pool",
+    "catalogue_key",
+    "close_worker_pool",
+    "code_fingerprint",
+    "default_cache_dir",
+    "resolve_outcome_cache",
+    "spec_key",
+    "worker_pool",
     "RunRecord",
     "RunSpec",
     "SweepRunner",

@@ -19,8 +19,11 @@ Determinism guarantees:
 
 Workers warm the per-process asset-encoding cache
 (:mod:`repro.media.cache`) on their first run of each (service,
-duration, seed) combination; with chunked maps each worker re-encodes a
-catalogue at most once per combination instead of once per run.
+duration, seed) combination; the locality-aware scheduling in
+:func:`repro.core.run.execute` groups specs by :func:`catalogue_key`
+so each worker encodes each combination at most once, and the
+persistent pool (:mod:`repro.core.pool`) keeps those warmed workers
+alive across calls.
 """
 
 from __future__ import annotations
@@ -28,7 +31,7 @@ from __future__ import annotations
 import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
-from typing import Callable, Iterable, Optional, Sequence, TypeVar, Union
+from typing import Callable, Hashable, Iterable, Optional, Sequence, TypeVar, Union
 
 from repro.analysis.faults import FaultSpec
 from repro.analysis.proxy import ManifestRewriter
@@ -175,6 +178,23 @@ class RunSpec:
             faults=self.faults,
             obs=obs,
         )
+
+
+def catalogue_key(spec: RunSpec) -> Hashable:
+    """The asset-encode identity of a spec: which catalogue its session
+    needs, keyed exactly as :class:`~repro.media.cache.AssetCache` keys
+    encodes.  Specs sharing a catalogue key are scheduled onto the same
+    worker chunk so the sweep fabric encodes each catalogue as few
+    times as possible."""
+    service = (
+        get_service(spec.service)
+        if isinstance(spec.service, str)
+        else spec.service
+    )
+    return service.encoding_cache_key(
+        spec.content_duration_s or spec.duration_s,
+        spec.resolved_content_seed,
+    )
 
 
 @dataclass(frozen=True)
@@ -348,17 +368,27 @@ def parallel_map(
     *,
     workers: Optional[int] = None,
     chunksize: int = 1,
+    reuse_pool: bool = True,
 ) -> list[R]:
     """Ordered map over worker processes, serial when ``workers`` <= 0.
 
     ``fn`` must be a module-level callable and items/results must be
-    picklable.  Results preserve the order of ``items``.
+    picklable.  Results preserve the order of ``items``.  By default
+    the map runs on the process-wide persistent pool
+    (:func:`repro.core.pool.worker_pool`) so repeated sweeps share one
+    set of warmed workers; ``reuse_pool=False`` restores the old
+    spawn-and-tear-down behaviour (benchmarks use it as the cold
+    baseline).
     """
+    from repro.core.pool import worker_pool
+
     items = list(items)
     if workers is None:
         workers = default_worker_count()
     if workers <= 0 or len(items) <= 1:
         return [fn(item) for item in items]
+    if reuse_pool:
+        return worker_pool(workers).map(fn, items, chunksize=chunksize)
     with ProcessPoolExecutor(max_workers=min(workers, len(items))) as pool:
         return list(pool.map(fn, items, chunksize=chunksize))
 

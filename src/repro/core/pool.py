@@ -1,0 +1,170 @@
+"""Persistent worker pool: one process fan-out, reused across sweeps.
+
+Before the sweep fabric, every ``execute()`` / ``parallel_map`` call
+built a fresh ``ProcessPoolExecutor`` and tore it down on return.  A
+CLI invocation that sweeps service-by-service, a black-box probe
+battery, or a benchmark that re-runs the grid therefore paid pool
+spawn — and, worse, worker-side asset-encode warm-up — once *per
+call* instead of once per process.
+
+:class:`WorkerPool` wraps one executor that stays alive between calls:
+
+* lazily created on first use via :func:`worker_pool` and reused by
+  every later caller asking for the same worker count;
+* explicitly closeable (:func:`close_worker_pool`); a closed pool is
+  transparently re-created on the next request;
+* a task that *raises* leaves the pool usable — only a broken pool
+  (worker process died) is discarded;
+* an optional initializer pre-warms each worker's asset-encode cache
+  from picklable ``(service, duration_s, content_seed)`` warm keys, so
+  catalogues are encoded during spawn instead of inside the first
+  timed run.  (Under the default ``fork`` start method workers also
+  inherit whatever the parent already encoded — warming the parent
+  warms every future worker for free.)
+
+Determinism: the pool changes *where* runs execute, never what they
+produce.  Outcomes are pure functions of their specs, so cold-pool,
+warm-pool and in-process execution compare ``==`` — the invariant the
+fabric tests assert.
+
+Pool lifecycle counters (spawns, map calls, tasks dispatched) land in
+the process-level metrics registry
+(:func:`repro.obs.metrics.process_registry`), *not* in per-run
+registries: pool history is a process effect and must stay out of the
+workers=0 == workers=N snapshot equivalence.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Iterable, Optional, Sequence, TypeVar, Union
+
+from repro.obs.metrics import process_registry
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: A picklable description of one catalogue to pre-encode in each
+#: worker: (service name or ServiceSpec, duration_s, content_seed).
+WarmKey = tuple[Union[str, object], float, int]
+
+
+def _warm_worker(warm_keys: Sequence[WarmKey]) -> None:
+    """Worker initializer: encode the given catalogues into the
+    process-local asset cache before the first task arrives, then mark
+    the cache baseline so task-side encode accounting excludes both the
+    warm-up and whatever the parent encoded before ``fork``."""
+    from repro.media.cache import asset_cache
+    from repro.services.profiles import get_service
+
+    for service, duration_s, content_seed in warm_keys:
+        spec = get_service(service) if isinstance(service, str) else service
+        spec.encode_asset(duration_s, content_seed)
+    asset_cache().mark_baseline()
+
+
+class WorkerPool:
+    """A closeable, reusable process pool with ordered ``map``.
+
+    Thin by design: the locality-aware chunk planning lives in
+    ``core/run.py`` — the pool only owns process lifecycle.
+    """
+
+    def __init__(self, workers: int, *, warm_keys: Sequence[WarmKey] = ()):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.warm_keys = tuple(warm_keys)
+        self._closed = False
+        self.map_calls = 0
+        self.tasks_dispatched = 0
+        self._executor = ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_warm_worker,
+            initargs=(self.warm_keys,),
+        )
+        registry = process_registry()
+        registry.counter("pool.spawns").inc()
+        registry.gauge("pool.workers").set(workers)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def map(
+        self,
+        fn: Callable[[T], R],
+        items: Iterable[T],
+        *,
+        chunksize: int = 1,
+    ) -> list[R]:
+        """Ordered map over the pool's workers.
+
+        A task exception propagates to the caller but leaves the pool
+        alive; a broken pool (worker process death) closes the pool so
+        the next :func:`worker_pool` call starts a fresh one.
+        """
+        if self._closed:
+            raise RuntimeError("WorkerPool is closed")
+        items = list(items)
+        self.map_calls += 1
+        self.tasks_dispatched += len(items)
+        registry = process_registry()
+        registry.counter("pool.map_calls").inc()
+        registry.counter("pool.tasks_dispatched").inc(len(items))
+        try:
+            return list(self._executor.map(fn, items, chunksize=chunksize))
+        except BrokenProcessPool:
+            self.close()
+            raise
+
+    def close(self) -> None:
+        """Shut the executor down; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        self._executor.shutdown(wait=True, cancel_futures=True)
+
+
+_POOL_LOCK = threading.Lock()
+_ACTIVE_POOL: Optional[WorkerPool] = None
+
+
+def worker_pool(
+    workers: int, *, warm_keys: Sequence[WarmKey] = ()
+) -> WorkerPool:
+    """The process-wide pool, lazily created and reused across calls.
+
+    An alive pool with the same worker count is returned as-is
+    (``warm_keys`` only apply at creation — later workers warm lazily
+    through the asset cache on their first run of each catalogue).  A
+    closed pool or a different worker count triggers re-creation.
+    """
+    global _ACTIVE_POOL
+    with _POOL_LOCK:
+        pool = _ACTIVE_POOL
+        if pool is not None and not pool.closed and pool.workers == workers:
+            return pool
+        if pool is not None:
+            pool.close()
+        _ACTIVE_POOL = WorkerPool(workers, warm_keys=warm_keys)
+        return _ACTIVE_POOL
+
+
+def active_worker_pool() -> Optional[WorkerPool]:
+    """The currently alive process-wide pool, if any (introspection)."""
+    pool = _ACTIVE_POOL
+    if pool is not None and pool.closed:
+        return None
+    return pool
+
+
+def close_worker_pool() -> None:
+    """Close the process-wide pool (if alive); the next use re-creates it."""
+    global _ACTIVE_POOL
+    with _POOL_LOCK:
+        if _ACTIVE_POOL is not None:
+            _ACTIVE_POOL.close()
+            _ACTIVE_POOL = None

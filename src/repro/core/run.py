@@ -15,21 +15,36 @@ result is a :class:`RunOutcome` carrying the compact record, tick
 accounting, the run's metrics snapshot and (when tracing) its trace —
 all picklable, so ``workers=N`` returns exactly what ``workers=0``
 returns, in spec order.
+
+``execute`` is also the seat of the **sweep fabric** (PR 5): parallel
+sweeps run on the persistent worker pool (:mod:`repro.core.pool`),
+specs are grouped by :func:`~repro.core.parallel.catalogue_key` and
+chunked so each worker encodes each catalogue at most once, and
+``cache=`` memoises whole outcomes through the content-addressed
+:mod:`repro.core.outcome_cache`.  None of the three layers changes any
+comparable outcome: cold pool, warm pool, cache hit and ``workers=0``
+all compare ``==``.
 """
 
 from __future__ import annotations
 
+import math
+import os
+from collections import OrderedDict
 from dataclasses import dataclass, field, replace
 from typing import Optional, Sequence, Union
 
+from repro.core.outcome_cache import CacheSpec, resolve_outcome_cache
 from repro.core.parallel import (
     RunRecord,
     RunSpec,
     TickStats,
-    parallel_map,
+    catalogue_key,
     record_from_result,
 )
+from repro.core.pool import worker_pool
 from repro.core.session import SessionResult
+from repro.media.cache import asset_cache
 from repro.obs import (
     MetricsSnapshot,
     Observability,
@@ -37,6 +52,7 @@ from repro.obs import (
     TraceConfig,
     TraceEvent,
 )
+from repro.obs.metrics import process_registry
 
 #: What ``tracer=`` accepts: nothing, "just collect" (unbounded ring
 #: buffer), or a full sink description.
@@ -112,10 +128,75 @@ def run_one(
     )
 
 
-def _outcome_task(args: tuple[RunSpec, bool]) -> RunOutcome:
-    """Module-level worker task (hence pool-picklable)."""
-    spec, profile = args
-    return run_one(spec, profile=profile, keep_result=False)
+def _outcome_chunk_task(
+    args: tuple[tuple[RunSpec, ...], bool],
+) -> tuple[list[RunOutcome], int, int, int]:
+    """Run one locality chunk in a worker; report the worker's asset
+    cache activity (since its initializer baseline) so the parent can
+    account encodes per worker."""
+    specs, profile = args
+    outcomes = [
+        run_one(spec, profile=profile, keep_result=False) for spec in specs
+    ]
+    misses, hits = asset_cache().since_baseline()
+    return outcomes, os.getpid(), misses, hits
+
+
+def _plan_chunks(
+    specs: Sequence[RunSpec],
+    workers: int,
+    chunksize: Optional[int],
+) -> list[list[int]]:
+    """Split spec indices into worker chunks, catalogue-locality first.
+
+    With an explicit ``chunksize`` the split is the classic flat one.
+    Otherwise specs are grouped by :func:`catalogue_key` and each group
+    becomes as few chunks as load balancing allows (about two chunks
+    per worker across the whole sweep, never splitting a group that a
+    single worker can own) — so a catalogue is encoded by as few
+    workers as possible, and by each of them at most once.
+    """
+    if chunksize is not None:
+        if chunksize < 1:
+            raise ValueError(f"chunksize must be >= 1, got {chunksize}")
+        return [
+            list(range(start, min(start + chunksize, len(specs))))
+            for start in range(0, len(specs), chunksize)
+        ]
+    groups: OrderedDict[object, list[int]] = OrderedDict()
+    for index, spec in enumerate(specs):
+        groups.setdefault(catalogue_key(spec), []).append(index)
+    total = len(specs)
+    chunks: list[list[int]] = []
+    for indices in groups.values():
+        # This group's proportional share of ~2 chunks per worker;
+        # small groups stay whole (one encode per catalogue total).
+        share = max(1, round(2 * workers * len(indices) / total))
+        per_chunk = math.ceil(len(indices) / share)
+        chunks.extend(
+            indices[start : start + per_chunk]
+            for start in range(0, len(indices), per_chunk)
+        )
+    return chunks
+
+
+def _record_worker_encode_stats(
+    results: Sequence[tuple[list[RunOutcome], int, int, int]],
+) -> None:
+    """Publish per-worker asset-cache totals as process-level gauges.
+
+    Worker cache counters are monotone per process, so the max across
+    chunk reports is the worker's lifetime total; benchmarks difference
+    these gauges around a sweep to count encodes it caused.
+    """
+    registry = process_registry()
+    per_pid: dict[int, tuple[int, int]] = {}
+    for _, pid, misses, hits in results:
+        prev_misses, prev_hits = per_pid.get(pid, (0, 0))
+        per_pid[pid] = (max(prev_misses, misses), max(prev_hits, hits))
+    for pid, (misses, hits) in per_pid.items():
+        registry.gauge("pool.worker.asset_encodes", pid=pid).set(misses)
+        registry.gauge("pool.worker.asset_hits", pid=pid).set(hits)
 
 
 def execute(
@@ -125,15 +206,25 @@ def execute(
     tracer: TracerSpec = None,
     profile: bool = False,
     keep_results: bool = False,
-    chunksize: int = 1,
+    chunksize: Optional[int] = None,
+    cache: CacheSpec = None,
 ) -> list[RunOutcome]:
     """Execute a batch of specs, serially or over worker processes.
 
     The single sweep entry point: ``workers=0`` runs in process (and may
-    keep live results); ``workers=N`` fans out over N processes.  The
-    comparable parts of the outcomes are identical either way, in spec
-    order.  ``tracer`` applies to every spec that does not already carry
-    its own ``tracing`` config.
+    keep live results); ``workers=N`` fans out over the persistent
+    worker pool.  The comparable parts of the outcomes are identical
+    either way, in spec order.  ``tracer`` applies to every spec that
+    does not already carry its own ``tracing`` config.
+
+    ``chunksize=None`` (the default) plans chunks by catalogue
+    locality so each worker encodes each (service, duration, seed)
+    catalogue at most once; an explicit integer restores flat
+    chunking.  ``cache`` memoises comparable outcomes on disk —
+    ``True`` for the default directory, a path, or an
+    :class:`~repro.core.outcome_cache.OutcomeCache`; only cache misses
+    are executed, and hits reconstruct outcomes that compare ``==`` to
+    freshly computed ones.
     """
     if workers < 0:
         raise ValueError(f"workers must be >= 0, got {workers}")
@@ -142,18 +233,42 @@ def execute(
             "keep_results needs workers=0: live session graphs hold "
             "unpicklable objects and cannot cross process boundaries"
         )
+    store = resolve_outcome_cache(cache)
+    if store is not None and keep_results:
+        raise ValueError(
+            "keep_results needs cache=None: the outcome cache stores "
+            "only comparable payloads, never live session graphs"
+        )
     specs = [_resolve_tracing(spec, tracer) for spec in specs]
-    if workers == 0:
-        return [
-            run_one(spec, profile=profile, keep_result=keep_results)
-            for spec in specs
-        ]
-    return parallel_map(
-        _outcome_task,
-        [(spec, profile) for spec in specs],
-        workers=workers,
-        chunksize=chunksize,
-    )
+    outcomes: list[Optional[RunOutcome]] = [None] * len(specs)
+    pending = list(range(len(specs)))
+    if store is not None:
+        for index in pending:
+            outcomes[index] = store.get(specs[index])
+        pending = [index for index in pending if outcomes[index] is None]
+    if workers == 0 or len(pending) <= 1:
+        for index in pending:
+            outcomes[index] = run_one(
+                specs[index], profile=profile, keep_result=keep_results
+            )
+    else:
+        chunks = _plan_chunks([specs[i] for i in pending], workers, chunksize)
+        pool = worker_pool(workers)
+        chunk_results = pool.map(
+            _outcome_chunk_task,
+            [
+                (tuple(specs[pending[i]] for i in chunk), profile)
+                for chunk in chunks
+            ],
+        )
+        for chunk, (chunk_outcomes, _, _, _) in zip(chunks, chunk_results):
+            for local_index, outcome in zip(chunk, chunk_outcomes):
+                outcomes[pending[local_index]] = outcome
+        _record_worker_encode_stats(chunk_results)
+    if store is not None:
+        for index in pending:
+            store.put(specs[index], outcomes[index])
+    return outcomes
 
 
 def aggregate_metrics(outcomes: Sequence[RunOutcome]) -> MetricsSnapshot:

@@ -10,7 +10,17 @@ sessions (or hosting it on multiple origin servers) is safe.
 
 The cache is per process: each sweep worker warms its own copy on the
 first run of each (service, duration, seed) combination and then serves
-every later repetition from memory.
+every later repetition from memory.  Lookups are **single-flight**:
+when concurrent sessions in one process (shared-link experiments,
+threaded drivers) race on a cold key, exactly one thread encodes while
+the others wait for its result — an expensive encode is never
+duplicated.
+
+Cache health (hits, misses, evictions, size) is mirrored into the
+process-level metrics registry
+(:func:`repro.obs.metrics.process_registry`) under ``asset_cache.*`` —
+process-level because cache warmth is a function of process history,
+which the per-run determinism contract explicitly excludes.
 """
 
 from __future__ import annotations
@@ -20,6 +30,7 @@ from collections import OrderedDict
 from typing import Callable, Hashable
 
 from repro.media.track import MediaAsset
+from repro.obs.metrics import process_registry
 
 DEFAULT_CAPACITY = 256
 
@@ -33,35 +44,88 @@ class AssetCache:
         self.capacity = capacity
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        self.single_flight_waits = 0
         self._entries: OrderedDict[Hashable, MediaAsset] = OrderedDict()
         self._lock = threading.Lock()
+        # In-flight encodes by key; followers wait on the leader's event.
+        self._inflight: dict[Hashable, threading.Event] = {}
+        self._baseline = (0, 0)
 
     def get_or_encode(
         self, key: Hashable, encode: Callable[[], MediaAsset]
     ) -> MediaAsset:
-        """Return the cached asset for ``key``, encoding it on first use."""
-        with self._lock:
-            asset = self._entries.get(key)
-            if asset is not None:
-                self.hits += 1
-                self._entries.move_to_end(key)
-                return asset
-            self.misses += 1
-        # Encode outside the lock: encodes are deterministic, so a rare
-        # duplicate encode under contention is wasted work, not a bug.
-        asset = encode()
+        """Return the cached asset for ``key``, encoding it on first use.
+
+        Single-flight: concurrent callers with the same cold key block
+        on the one thread that encodes; ``encode`` runs outside the
+        cache lock, so distinct keys still encode in parallel.
+        """
+        while True:
+            with self._lock:
+                asset = self._entries.get(key)
+                if asset is not None:
+                    self.hits += 1
+                    self._entries.move_to_end(key)
+                    self._publish()
+                    return asset
+                waiter = self._inflight.get(key)
+                if waiter is None:
+                    self._inflight[key] = threading.Event()
+                    self.misses += 1
+                    break  # this thread is the leader; encode below
+                self.single_flight_waits += 1
+            waiter.wait()
+            # Leader finished (or failed); loop to re-check the entry.
+        try:
+            asset = encode()
+        except BaseException:
+            # Wake the followers with no entry: each retries and one
+            # becomes the new leader, so a failed encode never wedges.
+            with self._lock:
+                self._inflight.pop(key).set()
+            raise
         with self._lock:
             self._entries[key] = asset
             self._entries.move_to_end(key)
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
+                self.evictions += 1
+            self._inflight.pop(key).set()
+            self._publish()
         return asset
+
+    def _publish(self) -> None:
+        """Mirror counters into the process registry (lock held)."""
+        registry = process_registry()
+        registry.gauge("asset_cache.hits").set(self.hits)
+        registry.gauge("asset_cache.misses").set(self.misses)
+        registry.gauge("asset_cache.evictions").set(self.evictions)
+        registry.gauge("asset_cache.entries").set(len(self._entries))
+
+    def mark_baseline(self) -> None:
+        """Snapshot the counters so :meth:`since_baseline` can report
+        activity *caused here* — pool workers call this from their
+        initializer because ``fork`` hands them the parent's cumulative
+        counters along with its warm entries."""
+        with self._lock:
+            self._baseline = (self.misses, self.hits)
+
+    def since_baseline(self) -> tuple[int, int]:
+        """(misses, hits) accrued since the last :meth:`mark_baseline`."""
+        with self._lock:
+            base_misses, base_hits = self._baseline
+            return self.misses - base_misses, self.hits - base_hits
 
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
             self.hits = 0
             self.misses = 0
+            self.evictions = 0
+            self.single_flight_waits = 0
+            self._baseline = (0, 0)
+            self._publish()
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -227,3 +227,35 @@ class MetricsSnapshot:
 
 
 EMPTY_SNAPSHOT = MetricsSnapshot()
+
+
+# ---------------------------------------------------------------------------
+# The process-level registry.
+# ---------------------------------------------------------------------------
+#
+# Per-run registries obey the determinism contract above; anything that
+# depends on process history — encode-cache warmth, worker-pool
+# lifecycle, outcome-cache hit rates — records here instead.  This
+# registry is explicitly *outside* the workers=0 == workers=N
+# equivalence: two sweeps may aggregate identical per-run snapshots
+# while leaving different process-level traces (one hit caches, one
+# did not).
+
+_PROCESS_REGISTRY = MetricsRegistry()
+
+
+def process_registry() -> MetricsRegistry:
+    """The registry for process-level effects (caches, pools).
+
+    Distinct from the per-run registries ``Observability`` creates:
+    values here are functions of process history, not of any RunSpec,
+    and never ride a :class:`MetricsSnapshot` across workers.
+    """
+    return _PROCESS_REGISTRY
+
+
+def reset_process_registry() -> MetricsRegistry:
+    """Swap in a fresh process registry (tests and benchmarks)."""
+    global _PROCESS_REGISTRY
+    _PROCESS_REGISTRY = MetricsRegistry()
+    return _PROCESS_REGISTRY
