@@ -17,7 +17,7 @@ better average quality.
 import dataclasses
 from statistics import mean
 
-from repro.core.session import run_session
+from tests.support import run_session
 from repro.player.abr import ExoPlayerAbr, RateBasedAbr
 from repro.player.abr_extra import BolaAbr, BufferBasedAbr
 from repro.services import exoplayer_config

@@ -9,7 +9,7 @@ stall less without giving up video quality.
 from statistics import mean
 
 from repro.core.bestpractices import apply_best_practices
-from repro.core.session import run_session
+from tests.support import run_session
 from repro.services import get_service
 
 from benchmarks.conftest import once

@@ -9,7 +9,7 @@ reports radio energy and idle time from the RRC model.
 
 import dataclasses
 
-from repro.core.session import run_session
+from tests.support import run_session
 from repro.net.rrc import RrcState
 from repro.net.schedule import ConstantSchedule
 from repro.services import get_service

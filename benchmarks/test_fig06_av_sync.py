@@ -7,7 +7,7 @@ reports 69.9 s and 52.5 s for its two lowest profiles, and stalls with
 ~100 s of video still buffered.
 """
 
-from repro.core.session import run_session
+from tests.support import run_session
 from repro.media.track import StreamType
 from repro.net.traces import generate_trace
 

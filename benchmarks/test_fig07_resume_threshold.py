@@ -7,7 +7,7 @@ resume threshold — the paper's suggested practical fix.
 
 import dataclasses
 
-from repro.core.session import run_session
+from tests.support import run_session
 from repro.net.traces import generate_trace
 from repro.services import get_service
 

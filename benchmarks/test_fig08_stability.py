@@ -4,7 +4,7 @@ Prints D1's per-segment track selection over time (the figure's series)
 against a stable reference service, and the steady-state switch counts.
 """
 
-from repro.core.session import run_session
+from tests.support import run_session
 from repro.media.track import StreamType
 from repro.net.schedule import ConstantSchedule
 from repro.util import kbps

@@ -8,7 +8,7 @@ track of segments in the buffer".
 """
 
 from repro.analysis.whatif import analyze_segment_replacement
-from repro.core.session import run_session
+from tests.support import run_session
 from repro.net.schedule import StepSchedule
 from repro.util import kbps, mbps
 

@@ -10,7 +10,7 @@ reductions of 30-64 % where bandwidth fluctuates; median data increase
 from statistics import median
 
 from repro.analysis.whatif import analyze_segment_replacement
-from repro.core.session import run_session
+from tests.support import run_session
 from repro.services import exoplayer_config
 from repro.services import testcard_dash_spec as make_testcard_spec
 

@@ -9,7 +9,7 @@ link (the paper measures 33.7 %).
 """
 
 from repro.blackbox import run_variant_experiment
-from repro.core.session import run_session
+from tests.support import run_session
 from repro.net.schedule import ConstantSchedule
 from repro.services import exoplayer_config
 from repro.services import testcard_dash_spec as make_testcard_spec

@@ -9,7 +9,7 @@ essentially unchanged (one profile 10 s -> 12 s).
 
 from statistics import median
 
-from repro.core.session import run_session
+from tests.support import run_session
 from repro.player.config import SchedulerStrategy
 from repro.services import exoplayer_config, sintel_hls_spec
 

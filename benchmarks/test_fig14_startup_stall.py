@@ -6,7 +6,7 @@ segment, and stalls; H2 (4 x 2 s startup segments, quick adaptation)
 plays cleanly at the same bandwidth.
 """
 
-from repro.core.session import run_session
+from tests.support import run_session
 from repro.media.track import StreamType
 from repro.net.schedule import ConstantSchedule
 from repro.util import kbps

@@ -1,0 +1,187 @@
+"""Event-engine throughput: dispatches instead of blind tick scans.
+
+Times the full paper grid (12 services x 14 profiles) three ways —
+serial tick loop, the tick engine with both fast-forward layers, and
+the event-driven engine — and writes ``benchmarks/BENCH_event.json``
+as a regression baseline.
+
+The quantity of interest is *executed steps*: loop iterations spent
+scanning for a state change rather than producing one.
+
+* serial / fast-forward: every executed tick is a scan step — the loop
+  runs the full network -> RRC -> player pipeline to discover whether
+  anything happened (``ticks_executed``).
+* event engine: a dispatched tick is executed *because* an event was
+  predicted there, so only the dispatches that turn out to be
+  unattributable ("noop" in the post-hoc classification) are blind.
+
+Sessions are built up front (warm encode cache) so the walls time the
+run loops only; record equality across all three modes is asserted at
+full grid scale.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.core.parallel import RunSpec, TickStats, record_from_result
+from repro.net.traces import PROFILE_COUNT
+from repro.services import ALL_SERVICE_NAMES
+
+from benchmarks.conftest import once
+
+GRID_DURATION_S = 45.0
+BASELINE_PATH = Path(__file__).resolve().parent / "BENCH_event.json"
+
+EXECUTED_STEPS_DEFINITION = (
+    "Loop iterations spent scanning for a state change rather than "
+    "producing one. serial/transfer_ff: ticks_executed (every executed "
+    "tick runs the full pipeline to find out whether anything changed). "
+    "event: dispatches classified 'noop' (ticks executed on a predicted "
+    "event that produced no attributable state change)."
+)
+
+
+def _grid_specs(**overrides):
+    return [
+        RunSpec(
+            service=name,
+            profile_id=profile_id,
+            duration_s=GRID_DURATION_S,
+            **overrides,
+        )
+        for name in ALL_SERVICE_NAMES
+        for profile_id in range(1, PROFILE_COUNT + 1)
+    ]
+
+
+def _run_grid(specs):
+    """Build everything first (warm encode cache), then time the runs."""
+    sessions = [spec.build() for spec in specs]
+    start = time.perf_counter()
+    records = [
+        record_from_result(spec, session.run(spec.duration_s))
+        for session, spec in zip(sessions, specs)
+    ]
+    wall = time.perf_counter() - start
+    stats = TickStats.ZERO
+    for session in sessions:
+        stats = stats + TickStats.from_session(session)
+    return records, sessions, stats, wall
+
+
+def _mode_entry(stats, wall, serial_wall, executed_steps):
+    return {
+        "wall_s": wall,
+        "speedup_vs_serial": serial_wall / wall,
+        "ticks_executed": stats.ticks_executed,
+        "ticks_simulated": stats.ticks_simulated,
+        "executed_steps": executed_steps,
+        "idle_fast_forward_jumps": stats.idle_fast_forward_jumps,
+        "transfer_fast_forward_jumps": stats.transfer_fast_forward_jumps,
+    }
+
+
+def test_perf_event_engine(benchmark, show):
+    serial_specs = _grid_specs(transfer_fast_forward=False)
+    ff_specs = _grid_specs(fast_forward=True)
+    event_specs = _grid_specs(engine="event")
+
+    def run():
+        serial_records, _, serial_stats, serial_wall = _run_grid(serial_specs)
+        ff_records, _, ff_stats, ff_wall = _run_grid(ff_specs)
+        event_records, event_sessions, event_stats, event_wall = _run_grid(
+            event_specs
+        )
+
+        dispatch_counts: dict[str, int] = {}
+        dispatches = 0
+        queue_pushes = 0
+        queue_depth_max = 0
+        for session in event_sessions:
+            dispatches += session.events_dispatched
+            queue_pushes += session.queue.pushed_total
+            queue_depth_max = max(queue_depth_max, session.max_queue_depth)
+            for kind, count in session.dispatch_counts.items():
+                dispatch_counts[kind] = dispatch_counts.get(kind, 0) + count
+        noop = dispatch_counts.get("noop", 0)
+
+        results = {
+            "grid": {
+                "services": len(ALL_SERVICE_NAMES),
+                "profiles": PROFILE_COUNT,
+                "runs": len(serial_specs),
+                "duration_s": GRID_DURATION_S,
+            },
+            "executed_steps_definition": EXECUTED_STEPS_DEFINITION,
+            "serial": _mode_entry(
+                serial_stats, serial_wall, serial_wall,
+                serial_stats.ticks_executed,
+            ),
+            "transfer_ff": _mode_entry(
+                ff_stats, ff_wall, serial_wall, ff_stats.ticks_executed
+            ),
+            "event": {
+                **_mode_entry(event_stats, event_wall, serial_wall, noop),
+                "events_dispatched": dispatches,
+                "dispatch_counts": dispatch_counts,
+                "queue_pushes": queue_pushes,
+                "queue_depth_max": queue_depth_max,
+            },
+            "blind_step_reduction_vs_transfer_ff": (
+                ff_stats.ticks_executed / max(1, noop)
+            ),
+            "records_identical": (
+                serial_records == ff_records == event_records
+            ),
+            "cpu_count": os.cpu_count(),
+        }
+        return results
+
+    results = once(benchmark, run)
+
+    BASELINE_PATH.write_text(json.dumps(results, indent=2, sort_keys=True))
+
+    def row(label, key):
+        entry = results[key]
+        return [
+            label,
+            f"{entry['wall_s']:.2f}",
+            f"{entry['ticks_executed']}",
+            f"{entry['executed_steps']}",
+            f"{entry['speedup_vs_serial']:.2f}",
+        ]
+
+    show(
+        "Event engine (full grid, blind steps vs dispatches)",
+        ["mode", "wall s", "executed ticks", "blind steps", "speedup"],
+        [
+            row("serial", "serial"),
+            row("tick + ff", "transfer_ff"),
+            row("event", "event"),
+        ],
+    )
+
+    assert results["records_identical"]
+    # Every mode walks the same simulated timeline, tick for tick.
+    assert (
+        results["serial"]["ticks_simulated"]
+        == results["transfer_ff"]["ticks_simulated"]
+        == results["event"]["ticks_simulated"]
+    )
+    assert results["serial"]["ticks_executed"] == results["serial"][
+        "ticks_simulated"
+    ]
+    # Accounting closes: every dispatch is classified exactly once.
+    assert (
+        sum(results["event"]["dispatch_counts"].values())
+        == results["event"]["events_dispatched"]
+    )
+    # The acceptance bars: the event engine must cut blind steps by at
+    # least 10x against the tick engine's best fast-forward config, and
+    # still beat the serial loop on wall-clock.
+    assert results["blind_step_reduction_vs_transfer_ff"] >= 10.0
+    assert results["event"]["speedup_vs_serial"] > 1.05

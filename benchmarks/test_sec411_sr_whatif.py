@@ -10,7 +10,7 @@ replacements lower/equal quality, 90th-percentile contiguous run of 6.
 from statistics import median
 
 from repro.analysis.whatif import analyze_segment_replacement
-from repro.core.session import run_session
+from tests.support import run_session
 
 from benchmarks.conftest import once
 

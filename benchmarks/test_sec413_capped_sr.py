@@ -6,7 +6,7 @@ reduces wasted data by ~44 % on average while the time spent above
 """
 
 from repro.analysis.whatif import analyze_segment_replacement
-from repro.core.session import run_session
+from tests.support import run_session
 from repro.services import exoplayer_config
 from repro.services import testcard_dash_spec as make_testcard_spec
 

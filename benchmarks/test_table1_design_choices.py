@@ -20,7 +20,7 @@ from repro.blackbox import (
     probe_startup_buffer,
 )
 from repro.core.parallel import default_worker_count, parallel_map
-from repro.core.session import run_session
+from tests.support import run_session
 from repro.media.track import StreamType
 from repro.net.schedule import ConstantSchedule
 from repro.services import ALL_SERVICE_NAMES, get_service

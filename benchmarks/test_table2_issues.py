@@ -16,7 +16,7 @@ from repro.core.bestpractices import (
     detect_unstable_selection,
 )
 from repro.core.parallel import default_worker_count, parallel_map
-from repro.core.session import run_session
+from tests.support import run_session
 from repro.net.schedule import ConstantSchedule, StepSchedule
 from repro.net.traces import generate_trace
 from repro.services import ALL_SERVICE_NAMES, get_service

@@ -37,9 +37,9 @@ from repro.core.session import (
     ResultFieldMissing,
     Session,
     SessionResult,
-    run_session,
 )
-from repro.core.experiment import run_service_over_profiles, summarize_runs
+from repro.core.events import EventDrivenSession
+from repro.core.experiment import summarize_runs
 from repro.core.parallel import RunSpec
 from repro.core.run import RunOutcome, aggregate_metrics, execute, run_one
 from repro.net.traces import cellular_profiles, generate_trace, split_trace
@@ -57,6 +57,7 @@ from repro.services import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "EventDrivenSession",
     "ResultFieldMissing",
     "RunOutcome",
     "RunSpec",
@@ -65,8 +66,6 @@ __all__ = [
     "aggregate_metrics",
     "execute",
     "run_one",
-    "run_session",
-    "run_service_over_profiles",
     "summarize_runs",
     "cellular_profiles",
     "generate_trace",

@@ -138,6 +138,10 @@ class ResilienceReport:
     fast_forward: bool
     scenarios: tuple[FaultScenario, ...]
     cells: tuple[ResilienceCell, ...]
+    # Which simulation core produced the cells ("tick" | "event").
+    # Compared: the engine axis is part of what the sweep ran, even
+    # though cells are pinned identical across engines.
+    engine: str = "tick"
     # Sweep-wide aggregated metrics.  Excluded from equality: tick-mode
     # counters legitimately differ across fast-forward settings while
     # the report's semantic content stays identical.
@@ -154,6 +158,7 @@ class ResilienceReport:
             "profile_id": self.profile_id,
             "duration_s": self.duration_s,
             "fast_forward": self.fast_forward,
+            "engine": self.engine,
             "scenarios": [
                 {"name": s.name, "description": s.description}
                 for s in self.scenarios
@@ -219,6 +224,7 @@ def run_resilience_sweep(
     duration_s: float = 120.0,
     workers: int = 0,
     fast_forward: bool = True,
+    engine: str = "tick",
     cache: CacheSpec = None,
 ) -> ResilienceReport:
     """Run the services x scenarios grid and distill it into a report.
@@ -247,6 +253,7 @@ def run_resilience_sweep(
                     fast_forward=fast_forward,
                     faults=scenario.faults,
                     config_overrides=scenario.config_overrides,
+                    engine=engine,
                 )
             )
     outcomes = execute(specs, workers=workers, cache=cache)
@@ -260,6 +267,7 @@ def run_resilience_sweep(
         profile_id=profile_id,
         duration_s=duration_s,
         fast_forward=fast_forward,
+        engine=engine,
         scenarios=tuple(scenarios),
         cells=tuple(cells),
         metrics=aggregate_metrics(outcomes),

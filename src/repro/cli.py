@@ -77,6 +77,7 @@ def _build_parser() -> argparse.ArgumentParser:
                               help="skip provably idle ticks")
     trace_parser.add_argument("--jsonl", default=None, metavar="PATH",
                               help="also write the trace as JSON lines")
+    _add_engine_argument(trace_parser)
 
     compare_parser = commands.add_parser("compare",
                                          help="compare services")
@@ -92,6 +93,7 @@ def _build_parser() -> argparse.ArgumentParser:
     compare_parser.add_argument("--metrics-json", default=None,
                                 metavar="PATH",
                                 help="write aggregated sweep metrics as JSON")
+    _add_engine_argument(compare_parser)
     _add_cache_arguments(compare_parser)
 
     probe_parser = commands.add_parser("probe",
@@ -116,6 +118,7 @@ def _build_parser() -> argparse.ArgumentParser:
                             help="also write the report as JSON")
     res_parser.add_argument("--metrics-json", default=None, metavar="PATH",
                             help="write aggregated sweep metrics as JSON")
+    _add_engine_argument(res_parser)
     _add_cache_arguments(res_parser)
 
     cache_parser = commands.add_parser(
@@ -128,6 +131,14 @@ def _build_parser() -> argparse.ArgumentParser:
     commands.add_parser("services", help="list modelled services")
     commands.add_parser("profiles", help="list cellular profiles")
     return parser
+
+
+def _add_engine_argument(parser) -> None:
+    parser.add_argument("--engine", choices=("tick", "event"),
+                        default="tick",
+                        help="simulation core: the per-tick oracle loop "
+                             "or the event-driven engine (byte-identical "
+                             "results, fewer executed steps)")
 
 
 def _add_cache_arguments(parser) -> None:
@@ -178,6 +189,7 @@ def _cmd_trace(args) -> int:
         schedule=schedule,
         duration_s=args.duration,
         fast_forward=args.fast_forward,
+        engine=args.engine,
     )
     tracer = (
         TraceConfig(sink="jsonl", path=args.jsonl)
@@ -187,9 +199,28 @@ def _cmd_trace(args) -> int:
     outcome = run_one(spec, tracer=tracer)
     print()
     print(render_timeline(outcome.trace))
+    if args.engine == "event":
+        print()
+        print(_render_event_metrics(outcome.metrics))
     if args.jsonl:
         print(f"\nwrote {args.jsonl}")
     return 0
+
+
+def _render_event_metrics(metrics) -> str:
+    """Event-engine accounting lines for ``repro trace --engine event``."""
+    lines = ["event engine:"]
+    dispatches = metrics.value("session.dispatches") or 0
+    pushes = metrics.value("session.queue_pushes") or 0
+    depth = metrics.value("session.queue_depth_max") or 0
+    lines.append(f"  dispatches      : {dispatches:.0f}")
+    for name, labels, value in metrics.counters:
+        if name == "session.events":
+            kind = dict(labels).get("type", "?")
+            lines.append(f"    {kind:<15}: {value:.0f}")
+    lines.append(f"  queue pushes    : {pushes:.0f}")
+    lines.append(f"  queue depth max : {depth:.0f}")
+    return "\n".join(lines)
 
 
 def _cmd_compare(args) -> int:
@@ -204,7 +235,7 @@ def _cmd_compare(args) -> int:
     for name in args.services:
         specs = profile_sweep_specs(
             name, selected, duration_s=args.duration,
-            fast_forward=args.fast_forward,
+            fast_forward=args.fast_forward, engine=args.engine,
         )
         outcomes = execute(specs, workers=args.workers, cache=cache)
         all_outcomes.extend(outcomes)
@@ -269,6 +300,7 @@ def _cmd_resilience(args) -> int:
         duration_s=args.duration,
         workers=args.workers,
         fast_forward=not args.no_fast_forward,
+        engine=args.engine,
         cache=_cache_for(args),
     )
     print(report.render())

@@ -4,13 +4,12 @@ from repro.core.session import (
     ResultFieldMissing,
     Session,
     SessionResult,
-    run_session,
 )
+from repro.core.events import Event, EventDrivenSession, EventQueue, EventType
 from repro.core.multi import ClientResult, MultiSession, run_shared_link
 from repro.core.experiment import (
     ProfileRun,
     profile_sweep_specs,
-    run_service_over_profiles,
     summarize_runs,
 )
 from repro.core.outcome_cache import (
@@ -54,13 +53,15 @@ __all__ = [
     "ResultFieldMissing",
     "Session",
     "SessionResult",
-    "run_session",
+    "Event",
+    "EventDrivenSession",
+    "EventQueue",
+    "EventType",
     "ClientResult",
     "MultiSession",
     "run_shared_link",
     "ProfileRun",
     "profile_sweep_specs",
-    "run_service_over_profiles",
     "summarize_runs",
     "CacheStats",
     "OutcomeCache",

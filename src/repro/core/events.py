@@ -1,0 +1,428 @@
+"""Event-driven simulation core: advance the clock event to event.
+
+The tick engine (:class:`~repro.core.session.Session`) discovers what
+happens next by scanning: every serial tick runs the full network →
+RRC → player pipeline just to find out whether anything changed, and
+its two fast-forward layers re-derive their batch windows from the
+change-point contracts (``next_change_at``, ``transfer_noop_ticks``,
+``slow_start_horizon_ticks``) on every jump.  This module inverts the
+control flow: producers *register* their next event in an
+:class:`EventQueue` and :class:`EventDrivenSession` advances the clock
+from event to event, executing a serial tick only at event instants.
+
+Byte-identity is non-negotiable (the tick engine stays the oracle), and
+it pins the design:
+
+* The serial loop accumulates floats per tick (``pos += dt``,
+  ``delivered_bytes += rate * dt / 8``, ``round(t + dt, 9)``), so a
+  closed-form jump would land on different ulps.  Batched windows are
+  therefore *replayed* through the proven per-tick primitives —
+  ``Network.advance_many`` (the download micro-loop) and
+  ``Player.apply_noop_ticks`` — which execute the identical arithmetic
+  without any per-tick *decision* logic.
+* Event instants are executed as one full serial tick through exactly
+  the oracle's code path, so everything observable (completions, state
+  transitions, trace spans, QoE) is produced by the same code in both
+  engines.
+* Dispatch classification is post-hoc (it reads cheap deltas after the
+  tick), so it cannot perturb the simulation.
+
+"Zero per-tick scanning" consequently means no per-tick *vetting*: the
+engine asks each producer once per event for its next event time, then
+jumps.  The arithmetic inside a certified window still runs per tick —
+that is what byte-identity costs, and it is cheap (no branching, no
+job scans, no schedule lookups).
+
+What the event engine adds over the tick engine's fast-forward layers:
+
+* windows of a single tick are batched too (the tick engine requires
+  >= 2 and otherwise falls into the full scan);
+* stalled windows — startup/rebuffer waits and retry backoffs with
+  nothing in flight — are batched via
+  :meth:`~repro.player.player.Player.stalled_noop_ticks` (the tick
+  engine executes those serially, which is why fault scenarios gained
+  the most);
+* one planning pass per event instead of two ``_try_*`` probes per
+  serial tick.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import itertools
+import math
+from time import perf_counter
+
+from repro.core.session import Session, SessionResult
+from repro.obs import EventJump
+from repro.player.events import SegmentPlayStarted
+from repro.player.player import PlayerState
+
+
+class EventType(enum.Enum):
+    """What a queued event announces.
+
+    Coarser than the dispatch classification on purpose: the queue
+    schedules *when* the engine must look, the post-hoc classifier
+    records *what it found*.  ABR/replacement wakes, rebuffer/render
+    deadlines and retry-backoff expiries all surface as the player's
+    single ``PLAYER_WAKE`` (the minimum over its margin contracts);
+    RRC timers need no events at all — radio state is replayed
+    per-tick inside every batched window.
+    """
+
+    PLAYER_WAKE = "player_wake"
+    TRANSFER_COMPLETE = "transfer_complete"
+    FAULT_CHANGE = "fault_change"
+    SESSION_END = "session_end"
+
+
+class Event:
+    """One queue entry.  Identity-compared; ``cancel`` is lazy."""
+
+    __slots__ = ("time", "type", "payload", "priority", "seq", "cancelled")
+
+    def __init__(self, time, type, payload=None, priority=0, seq=0):
+        self.time = time
+        self.type = type
+        self.payload = payload
+        self.priority = priority
+        self.seq = seq
+        self.cancelled = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flag = " cancelled" if self.cancelled else ""
+        return f"Event(t={self.time}, {self.type.value}, seq={self.seq}{flag})"
+
+
+class EventQueue:
+    """A deterministic min-heap of typed events.
+
+    Ordering is total and stable: ``(time, priority, seq)``, where
+    ``seq`` is the registration order — two events at the same instant
+    always pop in the order they were pushed, on every platform and
+    every run.  Cancellation is lazy (the heap entry is tombstoned and
+    skimmed on the next peek/pop), so ``cancel`` is O(1) and a
+    cancel + re-register cycle never loses or duplicates live events.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, int, Event]] = []
+        self._seq = itertools.count()
+        self._live = 0
+        self.pushed_total = 0
+
+    def __len__(self) -> int:
+        """Number of live (un-cancelled, un-popped) events."""
+        return self._live
+
+    def push(
+        self,
+        time: float,
+        type: EventType,
+        payload: object = None,
+        priority: int = 0,
+    ) -> Event:
+        event = Event(time, type, payload, priority, next(self._seq))
+        heapq.heappush(self._heap, (time, priority, event.seq, event))
+        self._live += 1
+        self.pushed_total += 1
+        return event
+
+    def cancel(self, event: Event) -> None:
+        """Tombstone ``event``; idempotent, no-op if already popped."""
+        if not event.cancelled:
+            event.cancelled = True
+            self._live -= 1
+
+    def _skim(self) -> None:
+        heap = self._heap
+        while heap and heap[0][3].cancelled:
+            heapq.heappop(heap)
+
+    def peek(self) -> Event | None:
+        self._skim()
+        return self._heap[0][3] if self._heap else None
+
+    def next_time(self) -> float:
+        head = self.peek()
+        return head.time if head is not None else math.inf
+
+    def pop(self) -> Event | None:
+        self._skim()
+        if not self._heap:
+            return None
+        event = heapq.heappop(self._heap)[3]
+        # Popping consumes the live entry; mark it so a later cancel()
+        # of a stale handle cannot corrupt the live count.
+        event.cancelled = True
+        self._live -= 1
+        return event
+
+    def pop_due(self, time: float) -> list[Event]:
+        """Pop every live event with ``event.time <= time``, in order."""
+        due: list[Event] = []
+        while True:
+            head = self.peek()
+            if head is None or head.time > time:
+                return due
+            due.append(self.pop())
+
+
+class EventDrivenSession(Session):
+    """A :class:`Session` that advances the clock event to event.
+
+    Same constructor, same :meth:`_finish`, same result types; only the
+    main loop differs.  The ``fast_forward`` flags are ignored — the
+    event engine always batches, and its accounting lands in the same
+    counters (``ticks_executed`` = dispatched event ticks,
+    ``fast_forwarded_ticks`` / ``transfer_fast_forwarded_ticks`` =
+    batched ticks), so :class:`~repro.core.parallel.TickStats` and its
+    ``ticks_simulated`` invariant hold unchanged.
+    """
+
+    engine = "event"
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.queue = EventQueue()
+        self.events_dispatched = 0
+        self.dispatch_counts: dict[str, int] = {}
+        self.max_queue_depth = 0
+        self._wake_handle: Event | None = None
+
+    # -- main loop ---------------------------------------------------------
+
+    def run(self, duration_s: float) -> SessionResult:
+        profiler = self.obs.profiler
+        t0 = perf_counter() if profiler is not None else 0.0
+        dt = self.clock.dt
+        limit = duration_s - 1e-9
+        self._register_fault_events()
+        player = self.player
+        while self.clock.now < limit:
+            if player.ended and not player.scheduler.busy:
+                break
+            if self._jump_to_next_event(limit, dt):
+                continue
+            self._dispatch_event_tick(dt)
+        if profiler is not None:
+            profiler.add("event_loop", perf_counter() - t0, 1)
+        return self._finish()
+
+    def _register_fault_events(self) -> None:
+        """Static producers: the fault plane's change points, up front.
+
+        Dead-air boundaries and reset times are known at construction;
+        each becomes one queue entry.  Schedule change points are *not*
+        events — they only split transfer windows (``advance_many``
+        clamps at ``next_change_at`` and the next planning round
+        resumes batching under the new capacity), and idle windows do
+        not depend on capacity at all.
+        """
+        faults = self.network.faults
+        if faults is None:
+            return
+        for window in faults.dead_air:
+            self.queue.push(
+                window.start_s, EventType.FAULT_CHANGE, "dead_air_start"
+            )
+            self.queue.push(window.end_s, EventType.FAULT_CHANGE, "dead_air_end")
+        for at in faults.reset_times:
+            self.queue.push(at, EventType.FAULT_CHANGE, "reset")
+        self.max_queue_depth = len(self.queue)
+
+    def _register_wake(self, at: float, type: EventType) -> None:
+        """Replace the dynamic next-event registration.
+
+        Every dispatch or jump invalidates the previous prediction (the
+        margins were computed against pre-event state), so the producer
+        side is one live wake event at a time: cancel, re-register.
+        """
+        if self._wake_handle is not None:
+            self.queue.cancel(self._wake_handle)
+        self._wake_handle = self.queue.push(at, type)
+        depth = len(self.queue)
+        if depth > self.max_queue_depth:
+            self.max_queue_depth = depth
+
+    def _jump_to_next_event(self, limit: float, dt: float) -> bool:
+        """Batch up to the next queued/predicted event; True if moved.
+
+        The window math is exactly the tick engine's (same ``int(...)``
+        truncation, same clamp order) minus the >= 2 tick floor: a
+        certified window of one tick is still replayed batched, so the
+        only serial ticks left are genuine event instants.
+        """
+        now = self.clock.now
+        max_ticks = int((limit - now) / dt)
+        if max_ticks < 1:
+            return False  # the final tick always runs serially
+        network = self.network
+        player = self.player
+        if network.steady_for_batching():
+            ticks = player.transfer_noop_ticks(dt, max_ticks)
+            self._register_wake(now + ticks * dt, EventType.PLAYER_WAKE)
+            if ticks < 1:
+                return False
+            # No slow-start horizon probe here: it is advisory (the tick
+            # engine keeps it as a planning heuristic) and ``advance_many``
+            # re-checks completion exactly per tick, stopping *before* any
+            # completing tick.  Asking for the full player margin lets one
+            # micro-loop call run to the true boundary instead of paying
+            # per-call planning for each advisory slice.
+            executed, activity = network.advance_many(ticks, dt)
+            if executed <= 0:
+                return False  # completion or fault due: dispatch serially
+            player.apply_noop_ticks(executed, dt)
+            for radio_active in activity:
+                self.rrc.observe(radio_active, dt)
+                self.clock.tick()
+            self.transfer_fast_forwarded_ticks += executed
+            self.transfer_fast_forward_jumps += 1
+            # A short window means advance_many hit a boundary the player
+            # margin did not see: a completing transfer, a capacity change
+            # point or a fault horizon — all surfacing as the next dispatch.
+            bound = (
+                EventType.PLAYER_WAKE
+                if executed == ticks
+                else EventType.TRANSFER_COMPLETE
+            )
+            self._emit_jump(now, "transfer", executed, bound)
+            return True
+        if player.scheduler.busy:
+            # Jobs in flight with no live transfer: no contract covers
+            # this edge, so the tick runs serially.
+            self._register_wake(now + dt, EventType.PLAYER_WAKE)
+            return False
+        if player.state is PlayerState.PLAYING:
+            ticks = player.idle_noop_ticks(dt, max_ticks)
+            layer = "idle"
+        else:
+            ticks = player.stalled_noop_ticks(dt, max_ticks)
+            layer = "stalled"
+        # Fault change points (including no-op resets) must execute on
+        # the serial path so the fault cursor advances identically.
+        ticks = network.fault_horizon_ticks(ticks, dt)
+        self._register_wake(now + ticks * dt, EventType.PLAYER_WAKE)
+        if ticks < 1:
+            return False
+        # With no transfer anywhere the link moves no bytes and
+        # connection control is a no-op (the tick engine's idle-jump
+        # argument, state-independent): replay player no-ops, RRC idle
+        # observations and clock ticks, skip network.advance entirely.
+        player.apply_noop_ticks(ticks, dt)
+        for _ in range(ticks):
+            self.rrc.observe(False, dt)
+            self.clock.tick()
+        self.fast_forwarded_ticks += ticks
+        self.fast_forward_jumps += 1
+        self._emit_jump(now, layer, ticks, EventType.PLAYER_WAKE)
+        return True
+
+    def _emit_jump(
+        self, start: float, layer: str, ticks: int, bound: EventType
+    ) -> None:
+        tracer = self.obs.tracer
+        if tracer.enabled:
+            tracer.emit(
+                EventJump(
+                    at=start,
+                    layer=layer,
+                    ticks=ticks,
+                    end_s=self.clock.now,
+                    next_event=bound.value,
+                )
+            )
+
+    # -- event dispatch ----------------------------------------------------
+
+    def _dispatch_event_tick(self, dt: float) -> None:
+        """Execute one event instant as a full serial tick and label it.
+
+        The tick body is byte-for-byte the oracle loop's; everything
+        around it only *reads* state (queue pops happen before the tick
+        but fault evaluation inside ``network.advance`` re-derives
+        faults from time, never from the queue).
+        """
+        player = self.player
+        scheduler = player.scheduler
+        tick_start = self.clock.now
+        due = self.queue.pop_due(tick_start + 1e-9)
+        before_completed = scheduler.completed_jobs
+        before_inflight = scheduler.inflight()
+        before_events = len(player.events.events)
+        before_state = player.state
+        before_paused = player.pause_state()
+        before_bytes = self.network.link.total_bytes_delivered
+        self.network.advance(dt)
+        radio_active = self.network.link.total_bytes_delivered > before_bytes
+        self.rrc.observe(radio_active, dt)
+        player.advance(dt)
+        self.clock.tick()
+        self.ticks_executed += 1
+        self.events_dispatched += 1
+        kind = self._classify_dispatch(
+            due,
+            before_completed,
+            before_inflight,
+            before_events,
+            before_state,
+            before_paused,
+        )
+        self.dispatch_counts[kind] = self.dispatch_counts.get(kind, 0) + 1
+
+    def _classify_dispatch(
+        self,
+        due: list[Event],
+        before_completed: int,
+        before_inflight: int,
+        before_events: int,
+        before_state: PlayerState,
+        before_paused: tuple[bool, bool],
+    ) -> str:
+        """Name what the dispatched tick actually did (post-hoc).
+
+        Priority order matters only for the label (a reset both fires a
+        fault and completes jobs as failures; the fault is the cause).
+        ``noop`` is the honest residue — ticks the engine executed
+        without a state change to show for them (conservative margins);
+        BENCH_event.json tracks them as the engine's blind steps.
+        """
+        player = self.player
+        scheduler = player.scheduler
+        if any(event.type is EventType.FAULT_CHANGE for event in due):
+            return "fault_change"
+        if scheduler.completed_jobs > before_completed:
+            return "transfer_complete"
+        if scheduler.inflight() > before_inflight:
+            return "fetch_submitted"
+        if player.state is not before_state:
+            return "state_transition"
+        events = player.events.events
+        if len(events) > before_events:
+            if isinstance(events[before_events], SegmentPlayStarted):
+                return "segment_boundary"
+            return "player_event"
+        if player.pause_state() != before_paused:
+            return "pause_flip"
+        return "noop"
+
+    # -- observability -----------------------------------------------------
+
+    def _record_metrics(self) -> None:
+        """Per-event-type dispatch counts and queue stats, on top of the
+        base session counters.  All pure functions of the RunSpec (the
+        sweep-aggregation contract): the queue's content is fully
+        determined by the spec's faults and the deterministic planner.
+        """
+        super()._record_metrics()
+        metrics = self.obs.metrics
+        metrics.counter("session.dispatches").inc(self.events_dispatched)
+        for kind in sorted(self.dispatch_counts):
+            metrics.counter("session.events", type=kind).inc(
+                self.dispatch_counts[kind]
+            )
+        metrics.counter("session.queue_pushes").inc(self.queue.pushed_total)
+        metrics.gauge("session.queue_depth_max").set(self.max_queue_depth)

@@ -15,21 +15,14 @@ identical either way.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 from statistics import mean, median
 from typing import Optional, Sequence
 
 from repro.core.parallel import RunRecord, RunSpec
-from repro.core.run import RunOutcome, execute, run_one
+from repro.core.run import RunOutcome
 from repro.core.session import ResultFieldMissing, SessionResult
 from repro.net.traces import CellularTrace, cellular_profiles
-from repro.player.config import (
-    PlayerConfig,
-    UnpicklableConfigOverride,
-    config_overrides_between,
-)
-from repro.services.profiles import get_service
 
 
 @dataclass
@@ -78,6 +71,7 @@ def profile_sweep_specs(
     fast_forward: bool = False,
     transfer_fast_forward: Optional[bool] = None,
     config_overrides: tuple[tuple[str, object], ...] = (),
+    engine: str = "tick",
 ) -> list[RunSpec]:
     """Specs for one service over every profile (x repetitions).
 
@@ -97,72 +91,11 @@ def profile_sweep_specs(
             fast_forward=fast_forward,
             transfer_fast_forward=transfer_fast_forward,
             config_overrides=config_overrides,
+            engine=engine,
         )
         for trace in profiles
         for repetition in range(repetitions)
     ]
-
-
-def run_service_over_profiles(
-    spec_or_name,
-    profiles: Optional[Sequence[CellularTrace]] = None,
-    *,
-    duration_s: float = 600.0,
-    repetitions: int = 1,
-    player_config: Optional[PlayerConfig] = None,
-    dt: float = 0.1,
-    workers: int = 0,
-    fast_forward: bool = False,
-    transfer_fast_forward: Optional[bool] = None,
-) -> list[ProfileRun]:
-    """Deprecated shim: run a service over every profile (x repetitions).
-
-    Use :func:`profile_sweep_specs` + :func:`repro.core.run.execute`.  A
-    ``player_config`` that only tweaks plain fields of the service
-    default (``dataclasses.replace`` style) is converted to picklable
-    ``config_overrides`` and works with any ``workers`` value; a config
-    carrying foreign algorithm factories still needs ``workers=0`` (the
-    historical "unpicklable" ``ValueError`` otherwise).
-    """
-    warnings.warn(
-        "run_service_over_profiles is deprecated; build specs with "
-        "profile_sweep_specs (or RunSpec directly) and run them with "
-        "repro.core.run.execute",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    overrides: tuple[tuple[str, object], ...] = ()
-    live_config: Optional[PlayerConfig] = None
-    if player_config is not None:
-        service = (
-            get_service(spec_or_name)
-            if isinstance(spec_or_name, str)
-            else spec_or_name
-        )
-        try:
-            overrides = config_overrides_between(
-                service.player_config(), player_config
-            )
-        except UnpicklableConfigOverride:
-            if workers > 0:
-                raise
-            live_config = player_config
-    specs = profile_sweep_specs(
-        spec_or_name,
-        profiles,
-        duration_s=duration_s,
-        repetitions=repetitions,
-        dt=dt,
-        fast_forward=fast_forward,
-        transfer_fast_forward=transfer_fast_forward,
-        config_overrides=overrides,
-    )
-    if live_config is not None:
-        # Live path for factory-carrying configs (unpicklable, serial only).
-        outcomes = [run_one(spec, player_config=live_config) for spec in specs]
-    else:
-        outcomes = execute(specs, workers=workers, keep_results=workers == 0)
-    return [ProfileRun.from_outcome(outcome) for outcome in outcomes]
 
 
 @dataclass(frozen=True)

@@ -36,6 +36,7 @@ from typing import Callable, Hashable, Iterable, Optional, Sequence, TypeVar, Un
 from repro.analysis.faults import FaultSpec
 from repro.analysis.proxy import ManifestRewriter
 from repro.analysis.qoe import QoeReport
+from repro.core.events import EventDrivenSession
 from repro.core.session import ResultFieldMissing, Session, SessionResult
 from repro.net.rrc import RrcState
 from repro.net.schedule import BandwidthSchedule
@@ -104,6 +105,11 @@ class RunSpec:
     schedule: Optional[BandwidthSchedule] = None
     # Observability: per-run trace sink description (None = disabled).
     tracing: Optional[TraceConfig] = None
+    # Simulation engine: "tick" is the per-tick oracle loop (with its
+    # optional fast-forward layers), "event" the event-driven core
+    # (core/events.py) that is pinned byte-identical to it.  Part of
+    # the compared spec, so it participates in the outcome-cache key.
+    engine: str = "tick"
 
     @property
     def service_name(self) -> str:
@@ -165,7 +171,15 @@ class RunSpec:
             content_seed=self.resolved_content_seed,
             player_config=player_config,
         )
-        return Session(
+        if self.engine == "tick":
+            session_cls = Session
+        elif self.engine == "event":
+            session_cls = EventDrivenSession
+        else:
+            raise ValueError(
+                f"unknown engine {self.engine!r} (expected 'tick' or 'event')"
+            )
+        return session_cls(
             built,
             server,
             self.resolved_schedule(),

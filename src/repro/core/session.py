@@ -10,7 +10,6 @@ methodology's view (flows → analyzer → QoE) and the ground truth
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Optional
@@ -25,7 +24,6 @@ from repro.net.clock import Clock
 from repro.net.network import Network
 from repro.net.rrc import RrcMachine
 from repro.net.schedule import BandwidthSchedule
-from repro.net.traces import CellularTrace
 from repro.obs import FfJump, Observability
 from repro.player.config import PlayerConfig
 from repro.player.events import EventLog
@@ -398,59 +396,3 @@ class Session:
         metrics.counter("rrc.energy_j").inc(self.rrc.energy_j)
         self.network.metrics_into(metrics)
         self.player.metrics_into(metrics)
-
-
-def run_session(
-    spec_or_name,
-    schedule: BandwidthSchedule | CellularTrace,
-    *,
-    duration_s: float = 600.0,
-    content_duration_s: Optional[float] = None,
-    dt: float = 0.1,
-    rtt_s: float = 0.05,
-    player_config: Optional[PlayerConfig] = None,
-    manifest_rewriter: Optional[ManifestRewriter] = None,
-    reject_after_segments: Optional[int] = None,
-    content_seed: int = 11,
-    fast_forward: bool = False,
-    transfer_fast_forward: Optional[bool] = None,
-    faults: Optional[FaultSpec] = None,
-) -> SessionResult:
-    """Deprecated shim: build a RunSpec and run it via the unified API.
-
-    Use ``RunSpec(...).build()`` / ``repro.core.run.run_one`` instead;
-    this signature survives so existing notebooks and scripts keep
-    working, at the cost of a :class:`DeprecationWarning`.
-    """
-    warnings.warn(
-        "run_session is deprecated; describe the run as a "
-        "repro.core.RunSpec and use repro.core.run_one / execute instead",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    # Imported lazily: core.parallel/core.run import this module.
-    from repro.core.parallel import RunSpec
-    from repro.core.run import run_one
-
-    spec = RunSpec(
-        service=spec_or_name,
-        trace=schedule if isinstance(schedule, CellularTrace) else None,
-        schedule=None if isinstance(schedule, CellularTrace) else schedule,
-        duration_s=duration_s,
-        content_duration_s=content_duration_s,
-        dt=dt,
-        rtt_s=rtt_s,
-        content_seed=content_seed,
-        fast_forward=fast_forward,
-        transfer_fast_forward=transfer_fast_forward,
-        faults=faults,
-    )
-    outcome = run_one(
-        spec,
-        player_config=player_config,
-        manifest_rewriter=manifest_rewriter,
-        reject_after_segments=reject_after_segments,
-    )
-    result = outcome.result
-    assert result is not None  # run_one keeps the live result
-    return result

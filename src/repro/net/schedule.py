@@ -8,7 +8,7 @@ recorded cellular traces replayed for apples-to-apples QoE comparisons.
 from __future__ import annotations
 
 import math
-from bisect import bisect_right
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
 from typing import Protocol, Sequence, runtime_checkable
 
@@ -106,12 +106,23 @@ class TraceSchedule:
         check_positive("sample_interval_s", self.sample_interval_s)
         for sample in self.samples_bps:
             check_non_negative("sample_bps", sample)
-        # Last-hit lookup cache: sessions query bandwidth_at once per
-        # 0.1 s tick against 1 s samples, so ~90% of lookups land in the
-        # sample window of the previous one.  Cached on the instance
-        # (not a field: equality, repr and pickling see only the data).
-        object.__setattr__(self, "_hit_key", -1)
-        object.__setattr__(self, "_hit_rate", 0.0)
+        # Change points, precomputed: sample indices k (in [0, n)) whose
+        # rate differs from the preceding sample's, wrap-around included
+        # because the trace repeats.  ``next_change_at`` bisects this
+        # tuple, so horizon queries in the batching hot loops are
+        # O(log n), stateless, and skip constant stretches entirely
+        # (the old last-hit cache stopped at every 1 s boundary and its
+        # mutable slots were a stampede hazard when one frozen schedule
+        # is probed from interleaved horizon scans).  Stored on the
+        # instance, not as a field: equality, repr and pickling see only
+        # the data.
+        samples = self.samples_bps
+        n = len(samples)
+        object.__setattr__(
+            self,
+            "_change_indices",
+            tuple(k for k in range(n) if samples[k] != samples[k - 1]),
+        )
 
     @classmethod
     def from_samples(cls, samples: Sequence[float], interval_s: float = 1.0):
@@ -128,14 +139,21 @@ class TraceSchedule:
     def bandwidth_at(self, time_s: float) -> float:
         check_non_negative("time_s", time_s)
         key = int(time_s / self.sample_interval_s)
-        if key != self._hit_key:
-            object.__setattr__(self, "_hit_key", key)
-            object.__setattr__(
-                self, "_hit_rate", self.samples_bps[key % len(self.samples_bps)]
-            )
-        return self._hit_rate
+        return self.samples_bps[key % len(self.samples_bps)]
 
     def next_change_at(self, time_s: float) -> float:
-        # The rate may change at every sample boundary, forever (the
-        # trace repeats), so the next boundary after ``time_s``.
-        return (int(time_s / self.sample_interval_s) + 1) * self.sample_interval_s
+        # Next sample boundary after ``time_s`` whose rate actually
+        # differs from its predecessor's, in the unbounded repeated
+        # index space.  Equal-rate boundaries are skipped — the rate is
+        # genuinely constant across them, so the contract holds over
+        # the (longer) window.
+        changes = self._change_indices
+        if not changes:
+            return math.inf  # every sample equal: the rate never changes
+        j = int(time_s / self.sample_interval_s) + 1
+        n = len(self.samples_bps)
+        base, rem = divmod(j, n)
+        pos = bisect_left(changes, rem)
+        if pos == len(changes):
+            base, pos = base + 1, 0
+        return (base * n + changes[pos]) * self.sample_interval_s

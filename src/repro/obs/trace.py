@@ -28,9 +28,10 @@ from dataclasses import asdict, dataclass
 from typing import IO, ClassVar, Iterable, Optional, Protocol, Union, runtime_checkable
 
 #: Event kinds that describe the *simulation* rather than the session
-#: (fast-forward jumps).  They legitimately differ between serial and
-#: batched executions and are excluded from :func:`semantic_trace`.
-META_KINDS = frozenset({"ff_jump"})
+#: (fast-forward and event-engine jumps).  They legitimately differ
+#: between serial and batched executions and are excluded from
+#: :func:`semantic_trace`.
+META_KINDS = frozenset({"ff_jump", "event_jump"})
 
 
 @dataclass(frozen=True)
@@ -119,6 +120,23 @@ class FfJump(TraceEvent):
     layer: str  # "idle" | "transfer"
     ticks: int
     end_s: float
+
+
+@dataclass(frozen=True)
+class EventJump(TraceEvent):
+    """The event engine advanced the clock event-to-event (meta).
+
+    ``at`` is the window start and ``end_s`` the clock after the jump;
+    ``next_event`` names the queued event type the window was clamped
+    to, so a trace shows *why* the engine stopped where it did.
+    """
+
+    kind: ClassVar[str] = "event_jump"
+
+    layer: str  # "idle" | "stalled" | "transfer"
+    ticks: int
+    end_s: float
+    next_event: str
 
 
 @runtime_checkable
@@ -345,6 +363,11 @@ def render_timeline(events: Iterable[TraceEvent], *, width: int = 72) -> str:
             lines.append(
                 f"{t}  ff_jump    [{event.layer}] {event.ticks} ticks "
                 f"-> t={event.end_s:.2f}s"
+            )
+        elif isinstance(event, EventJump):
+            lines.append(
+                f"{t}  event_jump [{event.layer}] {event.ticks} ticks "
+                f"-> t={event.end_s:.2f}s (next: {event.next_event})"
             )
         else:
             lines.append(f"{t}  {event.kind:<10} {event}")

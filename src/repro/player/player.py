@@ -334,7 +334,12 @@ class Player:
         return self._ticks_within(margins, dt, max_ticks)
 
     def _fetch_gate_margins(
-        self, stream: StreamType, occupancy: float, margins: list[float]
+        self,
+        stream: StreamType,
+        occupancy: float,
+        margins: list[float],
+        *,
+        draining: bool = True,
     ) -> bool:
         """Margins before ``_next_job(stream)`` could return a job.
 
@@ -343,6 +348,13 @@ class Player:
         progresses (position advances, buffers drain, nothing completes).
         Returns False when a job might be produced this very tick — the
         caller must then fall back to serial execution.
+
+        ``draining=False`` (stalled-state callers) declares that the
+        playhead holds still in the window, so occupancy is frozen and
+        the ABR's drain-to-threshold wakes can never fire: those margins
+        are skipped entirely instead of clamping the window.  The
+        clock-driven gates (backoff expiry, replacement ``wake_time``)
+        apply either way.
         """
         now = self.clock.now
         if now < self._blocked_until[stream]:
@@ -357,9 +369,10 @@ class Player:
             thresholds = getattr(self.abr, "buffer_wake_thresholds", None)
             if thresholds is None:
                 return False
-            for threshold in thresholds():
-                if threshold is not None and occupancy > threshold:
-                    margins.append(occupancy - threshold)
+            if draining:
+                for threshold in thresholds():
+                    if threshold is not None and occupancy > threshold:
+                        margins.append(occupancy - threshold)
             level = self._usable_level(stream, self._choose_video_level())
             if self.config.prefetch_all_indexes and any(
                 track.segments is None
@@ -446,6 +459,74 @@ class Player:
             if self._index_covering(timeline, self._play_pos) in skipped:
                 return True
         return False
+
+    def pause_state(self) -> tuple[bool, bool]:
+        """(video, audio) pause-flag snapshot.
+
+        A stable public read of the throttling flags so engines can
+        detect a flip across a tick without reaching into ``_paused``.
+        """
+        return (
+            self._paused[StreamType.VIDEO],
+            self._paused[StreamType.AUDIO],
+        )
+
+    def stalled_noop_ticks(self, dt: float, max_ticks: int) -> int:
+        """No-op-window vetting while the player is *not* PLAYING.
+
+        The stalled-state sibling of :meth:`idle_noop_ticks`, with the
+        same caller guarantees (``scheduler.busy`` is False and every
+        connection is idle) but covering BUFFERING / REBUFFERING waits
+        and retry-backoff windows.  With nothing in flight and the
+        playhead holding still, buffer occupancy is frozen — so
+        readiness checks (``_startup_ready`` / ``_rebuffer_ready``) and
+        pause flags cannot flip later in the window if they do not flip
+        now, and the only time-driven wakes left are the fetch gates
+        (backoff expiry, ABR and replacement wake contracts).  The
+        tick-loop engine never calls this; it exists for the event
+        engine, which batches stalled stretches the serial loop walks
+        tick by tick.
+        """
+        if self.state is PlayerState.ENDED:
+            return max_ticks  # advance() only emits UI samples
+        if self.state is PlayerState.PLAYING:
+            return 0  # wrong vetting path; idle_noop_ticks owns PLAYING
+        if self.state is PlayerState.INIT:
+            if self.manifest is not None or self._manifest_requested:
+                return 0  # transition / response handling due this tick
+            # Pre-request (or between retry attempts): the only serial
+            # effect before the backoff expires is the 1 Hz UI sample.
+            margin = self._blocked_until[StreamType.VIDEO] - self.clock.now
+            if margin <= 1e-9:
+                return 0  # the manifest (re-)request fires this tick
+            return self._ticks_within([margin], dt, max_ticks)
+        if self.manifest is None or self._replacement_inflight or self._stale_jobs:
+            return 0
+        if self._pending_skip_jump():
+            return 0  # the playhead jump must run serially this tick
+        if self.state is PlayerState.BUFFERING:
+            # Readiness is a pure function of buffers and position, both
+            # frozen in the window: if it does not hold now, it cannot
+            # start holding until a download completes (serial by
+            # definition under the caller's no-transfers guarantee).
+            if self._startup_ready():
+                return 0
+        elif self._rebuffer_ready():  # REBUFFERING
+            return 0
+        margins: list[float] = []
+        for stream in self._streams():
+            occupancy = self.buffer_s(stream)
+            if self._paused[stream]:
+                if occupancy <= self.config.resume_threshold_s:
+                    return 0  # resume flip fires this tick
+                # Frozen occupancy: the flip cannot occur in-window.
+            elif occupancy >= self.config.pause_threshold_s - 1e-6:
+                return 0  # pause flag about to flip; run it serially
+            if not self._fetch_gate_margins(
+                stream, occupancy, margins, draining=False
+            ):
+                return 0
+        return self._ticks_within(margins, dt, max_ticks)
 
     def transfer_noop_ticks(self, dt: float, max_ticks: int) -> int:
         """How many ticks are player no-ops while downloads are in flight.

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.session import run_session
+from tests.support import run_session
 from repro.media.content import VideoContent
 from repro.media.encoder import (
     DeclaredBitratePolicy,

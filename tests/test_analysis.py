@@ -148,7 +148,7 @@ class TestUiMonitor:
         assert monitor.position_at(-1.0) == 0.0
 
     def test_stall_totals_match_ground_truth(self, profiles_300):
-        from repro.core.session import run_session
+        from tests.support import run_session
         result = run_session("S2", profiles_300[2], duration_s=300.0)
         true_stall = result.events.total_stall_s()
         ui_stall = result.ui.total_stall_s()
@@ -217,7 +217,7 @@ class TestWhatIf:
         assert whatif.bytes_with_sr >= whatif.bytes_without_sr
 
     def test_replacement_classification(self):
-        from repro.core.session import run_session
+        from tests.support import run_session
         from repro.net.schedule import StepSchedule
         from repro.util import kbps, mbps
         schedule = StepSchedule(steps=((0.0, kbps(900)), (60.0, mbps(6))))
@@ -236,7 +236,7 @@ class TestWhatIf:
         assert sum(whatif.replaced_run_lengths) == len(whatif.replacements)
 
     def test_without_sr_view_keeps_first_download(self):
-        from repro.core.session import run_session
+        from tests.support import run_session
         from repro.net.schedule import StepSchedule
         from repro.util import kbps, mbps
         schedule = StepSchedule(steps=((0.0, kbps(900)), (60.0, mbps(6))))

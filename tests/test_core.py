@@ -15,8 +15,13 @@ from repro.core.bestpractices import (
     diagnose_service,
     recommendations_for,
 )
-from repro.core.experiment import run_service_over_profiles, summarize_runs
-from repro.core.session import run_session
+from repro.core.experiment import (
+    ProfileRun,
+    profile_sweep_specs,
+    summarize_runs,
+)
+from repro.core.run import execute
+from tests.support import run_session
 from repro.net.rrc import RrcState
 from repro.net.schedule import ConstantSchedule, StepSchedule
 from repro.net.traces import generate_trace
@@ -69,7 +74,8 @@ class TestSessionResult:
 class TestExperimentRunner:
     def test_sweep_and_summary(self):
         profiles = [generate_trace(pid, 90) for pid in (5, 8)]
-        runs = run_service_over_profiles("H6", profiles, duration_s=90.0)
+        specs = profile_sweep_specs("H6", profiles, duration_s=90.0)
+        runs = [ProfileRun.from_outcome(o) for o in execute(specs)]
         assert len(runs) == 2
         assert {run.profile_id for run in runs} == {5, 8}
         summary = summarize_runs(runs)
@@ -79,8 +85,12 @@ class TestExperimentRunner:
 
     def test_repetitions_use_different_content(self):
         profiles = [generate_trace(8, 60)]
-        runs = run_service_over_profiles("H6", profiles, duration_s=60.0,
-                                         repetitions=2)
+        specs = profile_sweep_specs("H6", profiles, duration_s=60.0,
+                                    repetitions=2)
+        runs = [
+            ProfileRun.from_outcome(o)
+            for o in execute(specs, keep_results=True)
+        ]
         assert len(runs) == 2
         bytes_a = runs[0].result.proxy.total_bytes()
         bytes_b = runs[1].result.proxy.total_bytes()

@@ -9,7 +9,7 @@ from repro.analysis.report import render_comparison, render_qoe_report
 from repro.cli import main as cli_main
 from repro.core.bestpractices import apply_best_practices
 from repro.core.experiment import ProfileRun, summarize_runs
-from repro.core.session import run_session
+from tests.support import run_session
 from repro.manifest.types import ClientTrackInfo
 from repro.media.track import StreamType
 from repro.net.schedule import ConstantSchedule

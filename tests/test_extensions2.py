@@ -11,7 +11,8 @@ from repro.analysis.serialize import (
     capture_to_json,
     reanalyze,
 )
-from repro.core.session import Session, run_session
+from repro.core.session import Session
+from tests.support import run_session
 from repro.media.catalog import (
     build_catalog,
     check_catalog_consistency,

@@ -7,7 +7,8 @@ import pytest
 
 from repro.analysis.timelines import extract_timelines
 from repro.core.multi import MultiSession, run_shared_link
-from repro.core.session import Session, run_session
+from repro.core.session import Session
+from tests.support import run_session
 from repro.manifest.dash import DashBuilder, SegmentAddressing, parse_mpd
 from repro.manifest.types import Protocol
 from repro.media.track import StreamType

@@ -22,7 +22,7 @@ from repro.analysis.faults import (
 )
 from repro.analysis.serialize import capture_to_json
 from repro.core.parallel import RunSpec, execute_run_spec_with_result
-from repro.core.session import run_session
+from tests.support import run_session
 from repro.net.clock import Clock
 from repro.net.faults import (
     DeadAirWindow,

@@ -3,7 +3,8 @@
 import pytest
 
 from repro.cli import main as cli_main
-from repro.core.session import Session, run_session
+from repro.core.session import Session
+from tests.support import run_session
 from repro.net.http import HttpRequest, HttpStatus, ResponsePlan
 from repro.net.schedule import ConstantSchedule, StepSchedule
 from repro.player.player import PlayerState

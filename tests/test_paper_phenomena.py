@@ -9,7 +9,7 @@ experiments.
 import pytest
 
 from repro.analysis.whatif import analyze_segment_replacement
-from repro.core.session import run_session
+from tests.support import run_session
 from repro.media.track import StreamType
 from repro.net.schedule import ConstantSchedule, StepSchedule
 from repro.net.traces import generate_trace

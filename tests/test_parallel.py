@@ -4,8 +4,9 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.experiment import run_service_over_profiles
+from repro.core.experiment import ProfileRun, profile_sweep_specs
 from repro.core.multi import run_shared_link
+from repro.core.run import execute
 from repro.core.parallel import (
     RunSpec,
     SweepRunner,
@@ -14,11 +15,11 @@ from repro.core.parallel import (
     parallel_map,
     sweep_grid,
 )
-from repro.core.session import Session, run_session
+from repro.core.session import Session
+from tests.support import run_session
 from repro.media.cache import AssetCache, asset_cache, clear_asset_cache
 from repro.net.schedule import ConstantSchedule
 from repro.net.traces import generate_trace
-from repro.player.config import PlayerConfig
 from repro.server.origin import OriginServer
 from repro.services.profiles import build_service, get_service
 from repro.util import mbps
@@ -72,26 +73,21 @@ def test_parallel_map_orders_results():
     assert parallel_map(len, ["a", "bb"], workers=0) == [1, 2]
 
 
-def test_run_service_over_profiles_parallel_matches_serial():
+def test_profile_sweep_parallel_matches_serial():
     profiles = [generate_trace(pid, 40) for pid in (1, 2, 3)]
-    serial = run_service_over_profiles("S2", profiles, duration_s=40.0)
-    parallel = run_service_over_profiles("S2", profiles, duration_s=40.0, workers=2)
+    specs = profile_sweep_specs("S2", profiles, duration_s=40.0)
+    serial = [
+        ProfileRun.from_outcome(o)
+        for o in execute(specs, workers=0, keep_results=True)
+    ]
+    parallel = [
+        ProfileRun.from_outcome(o) for o in execute(specs, workers=2)
+    ]
     assert [run.record for run in serial] == [run.record for run in parallel]
     # serial keeps the live session graph; parallel keeps only records
     assert all(run.result is not None for run in serial)
     assert all(run.result is None for run in parallel)
     assert [run.qoe for run in serial] == [run.qoe for run in parallel]
-
-
-def test_run_service_over_profiles_rejects_config_with_workers():
-    with pytest.raises(ValueError, match="unpicklable"):
-        run_service_over_profiles(
-            "H1",
-            [generate_trace(1, 30)],
-            duration_s=30.0,
-            player_config=PlayerConfig(name="x"),
-            workers=2,
-        )
 
 
 def test_default_worker_count_bounds():

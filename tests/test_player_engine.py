@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.core.session import Session, run_session
+from repro.core.session import Session
+from tests.support import run_session
 from repro.media.track import StreamType
 from repro.net.schedule import ConstantSchedule, StepSchedule
 from repro.player.config import PlayerConfig, SchedulerStrategy

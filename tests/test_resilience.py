@@ -17,7 +17,7 @@ from repro.blackbox.resilience import (
     run_resilience_sweep,
     standard_fault_scenarios,
 )
-from repro.core.session import run_session
+from tests.support import run_session
 from repro.net.faults import DeadAirWindow
 from repro.net.http import ContentKind
 from repro.net.schedule import ConstantSchedule

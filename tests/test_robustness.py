@@ -7,7 +7,8 @@ from hypothesis import strategies as st
 from repro.analysis.proxy import FlowRecord, Proxy, SegmentLimitRejector
 from repro.analysis.traffic import TrafficAnalyzer
 from repro.analysis.ui import UiMonitor
-from repro.core.session import Session, run_session
+from repro.core.session import Session
+from tests.support import run_session
 from repro.media.track import StreamType
 from repro.net.http import HttpRequest, HttpStatus
 from repro.net.schedule import ConstantSchedule, StepSchedule

@@ -1,9 +1,11 @@
-"""The unified run API and the deprecated entry-point shims.
+"""The unified run API.
 
 One construction path (``RunSpec.build``), one execution surface
 (``run_one`` / ``execute``), typed errors for replay-path field access,
 and the ``player_config`` + ``workers>0`` footgun fixed by diffing a
-derived config into picklable ``config_overrides``.
+derived config into picklable ``config_overrides``.  The historical
+``run_session`` / ``run_service_over_profiles`` shims are retired; the
+tests below pin that they stay gone.
 """
 
 from __future__ import annotations
@@ -17,7 +19,6 @@ from repro.cli import main
 from repro.core.experiment import (
     ProfileRun,
     profile_sweep_specs,
-    run_service_over_profiles,
 )
 from repro.core.parallel import (
     RunSpec,
@@ -26,7 +27,8 @@ from repro.core.parallel import (
     record_from_result,
 )
 from repro.core.run import RunOutcome, execute, run_one
-from repro.core.session import ResultFieldMissing, SessionResult, run_session
+from repro.core.session import ResultFieldMissing, SessionResult
+from tests.support import run_session
 from repro.net.schedule import ConstantSchedule
 from repro.net.traces import generate_trace
 from repro.player.config import (
@@ -111,32 +113,40 @@ def test_execute_keep_results_serial_only():
 
 
 # ---------------------------------------------------------------------------
-# Deprecated shims
+# Retired shims
 # ---------------------------------------------------------------------------
 
 
-def test_run_session_shim_warns_and_matches_run_one():
+def test_shims_are_gone():
+    """The deprecated entry points were removed, not just discouraged."""
+    import repro
+    import repro.core
+    import repro.core.experiment
+    import repro.core.session
+
+    for module in (repro, repro.core, repro.core.session):
+        assert not hasattr(module, "run_session")
+    for module in (repro, repro.core, repro.core.experiment):
+        assert not hasattr(module, "run_service_over_profiles")
+
+
+def test_support_run_session_matches_run_one():
     trace = generate_trace(9, int(DURATION_S))
-    with pytest.warns(DeprecationWarning, match="run_session is deprecated"):
-        legacy = run_session("H1", trace, duration_s=DURATION_S)
+    helper = run_session("H1", trace, duration_s=DURATION_S)
     modern = run_one(_spec(trace=trace)).result
-    assert legacy.qoe == modern.qoe
-    assert legacy.events.events == modern.events.events
+    assert helper.qoe == modern.qoe
+    assert helper.events.events == modern.events.events
 
 
-def test_run_service_over_profiles_warns_and_matches_execute():
+def test_profile_sweep_specs_plus_execute_keeps_live_results():
     profiles = [generate_trace(2, int(DURATION_S))]
-    with pytest.warns(DeprecationWarning, match="run_service_over_profiles"):
-        legacy = run_service_over_profiles(
-            "S2", profiles, duration_s=DURATION_S
-        )
     specs = profile_sweep_specs("S2", profiles, duration_s=DURATION_S)
-    modern = [
+    runs = [
         ProfileRun.from_outcome(outcome)
         for outcome in execute(specs, workers=0, keep_results=True)
     ]
-    assert [run.record for run in legacy] == [run.record for run in modern]
-    assert all(run.result is not None for run in legacy)
+    assert [run.profile_id for run in runs] == [2]
+    assert all(run.result is not None for run in runs)
 
 
 # ---------------------------------------------------------------------------
@@ -145,33 +155,17 @@ def test_run_service_over_profiles_warns_and_matches_execute():
 
 
 def test_derived_player_config_works_with_workers():
-    """A replace()-derived config now rides workers>0 as overrides."""
+    """A replace()-derived config rides workers>0 as picklable overrides."""
     base = get_service("H1").player_config()
     tweaked = replace(base, startup_buffer_s=4.0, retry_interval_s=1.0)
+    overrides = config_overrides_between(base, tweaked)
     profiles = [generate_trace(1, 30)]
-    with pytest.warns(DeprecationWarning):
-        parallel = run_service_over_profiles(
-            "H1", profiles, duration_s=30.0,
-            player_config=tweaked, workers=2,
-        )
-        serial = run_service_over_profiles(
-            "H1", profiles, duration_s=30.0,
-            player_config=tweaked, workers=0,
-        )
-    assert [run.record for run in parallel] == [run.record for run in serial]
-
-
-def test_foreign_factory_config_still_rejected_with_workers():
-    """A from-scratch config carries foreign factories: serial only."""
-    with pytest.warns(DeprecationWarning):
-        with pytest.raises(ValueError, match="unpicklable"):
-            run_service_over_profiles(
-                "H1",
-                [generate_trace(1, 30)],
-                duration_s=30.0,
-                player_config=PlayerConfig(name="x"),
-                workers=2,
-            )
+    specs = profile_sweep_specs(
+        "H1", profiles, duration_s=30.0, config_overrides=overrides
+    )
+    parallel = execute(specs, workers=2)
+    serial = execute(specs, workers=0)
+    assert [o.record for o in parallel] == [o.record for o in serial]
 
 
 def test_config_overrides_between_diffs_plain_fields():

@@ -21,7 +21,8 @@ from repro.core.parallel import (
     execute_run_spec_with_stats,
     sweep_grid,
 )
-from repro.core.session import Session, run_session
+from repro.core.session import Session
+from tests.support import run_session
 from repro.net.schedule import ConstantSchedule, StepSchedule
 from repro.player.player import PlayerState
 from repro.server.origin import OriginServer
