@@ -8,9 +8,29 @@ so ``pytest benchmarks/ --benchmark-only`` shows them.
 
 from __future__ import annotations
 
+import os
+import platform
+import sys
+
 import pytest
 
 from repro.net.traces import cellular_profiles
+
+
+def bench_env() -> dict:
+    """Execution environment stamped into every ``BENCH_*.json``.
+
+    Baselines are only comparable against runs from a similar machine;
+    recording the environment with each artifact makes a regression
+    diff able to say "slower" vs "different box".
+    """
+    return {
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": sys.platform,
+        "machine": platform.machine(),
+    }
 
 
 @pytest.fixture(scope="session")

@@ -14,21 +14,31 @@ from repro.util import mbps
 from benchmarks.conftest import once
 
 
-def test_ablation_shared_link(benchmark, show):
-    def run():
-        return {
-            "H6 + H6 @ 6 Mbps": run_shared_link(
-                ["H6", "H6"], ConstantSchedule(mbps(6)), duration_s=300.0,
-            ),
-            "D3 + D2 @ 4 Mbps": run_shared_link(
-                ["D3", "D2"], ConstantSchedule(mbps(4)), duration_s=300.0,
-            ),
-            "H1 + H4 @ 5 Mbps": run_shared_link(
-                ["H1", "H4"], ConstantSchedule(mbps(5)), duration_s=300.0,
-            ),
-        }
+SCENARIOS = {
+    "H6 + H6 @ 6 Mbps": (["H6", "H6"], 6),
+    "D3 + D2 @ 4 Mbps": (["D3", "D2"], 4),
+    "H1 + H4 @ 5 Mbps": (["H1", "H4"], 5),
+}
 
-    scenarios = once(benchmark, run)
+
+def _run_scenarios(engine: str):
+    return {
+        label: run_shared_link(
+            names, ConstantSchedule(mbps(rate)), duration_s=300.0,
+            engine=engine,
+        )
+        for label, (names, rate) in SCENARIOS.items()
+    }
+
+
+def test_ablation_shared_link(benchmark, show):
+    scenarios = once(benchmark, lambda: _run_scenarios("tick"))
+    event_scenarios = _run_scenarios("event")
+
+    # Engine choice must not move any fairness number.
+    for label, clients in scenarios.items():
+        for client, event_client in zip(clients, event_scenarios[label]):
+            assert event_client.qoe == client.qoe, label
 
     rows = []
     for label, clients in scenarios.items():

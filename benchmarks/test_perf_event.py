@@ -23,7 +23,6 @@ full grid scale.
 from __future__ import annotations
 
 import json
-import os
 import time
 from pathlib import Path
 
@@ -31,7 +30,7 @@ from repro.core.parallel import RunSpec, TickStats, record_from_result
 from repro.net.traces import PROFILE_COUNT
 from repro.services import ALL_SERVICE_NAMES
 
-from benchmarks.conftest import once
+from benchmarks.conftest import bench_env, once
 
 GRID_DURATION_S = 45.0
 BASELINE_PATH = Path(__file__).resolve().parent / "BENCH_event.json"
@@ -85,6 +84,61 @@ def _mode_entry(stats, wall, serial_wall, executed_steps):
     }
 
 
+MULTI_COMBOS = [
+    ["H1", "D1"],
+    ["H3", "D3", "S1"],
+    ["H1", "D1", "D3", "H6"],
+]
+MULTI_DURATION_S = 180.0
+
+
+def _run_multi(engine):
+    from repro.core.multi import run_shared_link
+    from repro.net.schedule import StepSchedule
+
+    schedule = StepSchedule.single_step(8_000_000, 1_500_000, 60.0)
+    start = time.perf_counter()
+    results = [
+        run_shared_link(
+            list(combo), schedule, duration_s=MULTI_DURATION_S,
+            content_duration_s=90.0, engine=engine,
+        )
+        for combo in MULTI_COMBOS
+    ]
+    return results, time.perf_counter() - start
+
+
+def _multi_signature(results):
+    return [
+        [
+            (
+                client.client_id,
+                client.qoe,
+                tuple(client.player.events.events),
+                tuple(client.player.ui_samples),
+            )
+            for client in clients
+        ]
+        for clients in results
+    ]
+
+
+def _multi_section():
+    """Shared-link clients under both engines: identity plus speedup."""
+    tick_results, tick_wall = _run_multi("tick")
+    event_results, event_wall = _run_multi("event")
+    return {
+        "combos": MULTI_COMBOS,
+        "duration_s": MULTI_DURATION_S,
+        "tick_wall_s": tick_wall,
+        "event_wall_s": event_wall,
+        "event_speedup_vs_tick": tick_wall / event_wall,
+        "results_identical": (
+            _multi_signature(tick_results) == _multi_signature(event_results)
+        ),
+    }
+
+
 def test_perf_event_engine(benchmark, show):
     serial_specs = _grid_specs(transfer_fast_forward=False)
     ff_specs = _grid_specs(fast_forward=True)
@@ -98,16 +152,23 @@ def test_perf_event_engine(benchmark, show):
         )
 
         dispatch_counts: dict[str, int] = {}
+        stop_counts: dict[str, int] = {}
         dispatches = 0
         queue_pushes = 0
+        queue_cancelled = 0
         queue_depth_max = 0
         for session in event_sessions:
             dispatches += session.events_dispatched
             queue_pushes += session.queue.pushed_total
+            queue_cancelled += session.queue.cancelled_total
             queue_depth_max = max(queue_depth_max, session.max_queue_depth)
             for kind, count in session.dispatch_counts.items():
                 dispatch_counts[kind] = dispatch_counts.get(kind, 0) + count
+            for reason, count in session.advance_stop_counts.items():
+                stop_counts[reason] = stop_counts.get(reason, 0) + count
         noop = dispatch_counts.get("noop", 0)
+
+        multi = _multi_section()
 
         results = {
             "grid": {
@@ -128,16 +189,20 @@ def test_perf_event_engine(benchmark, show):
                 **_mode_entry(event_stats, event_wall, serial_wall, noop),
                 "events_dispatched": dispatches,
                 "dispatch_counts": dispatch_counts,
+                "advance_stop_counts": stop_counts,
                 "queue_pushes": queue_pushes,
+                "queue_cancelled": queue_cancelled,
                 "queue_depth_max": queue_depth_max,
+                "pushes_per_dispatch": queue_pushes / max(1, dispatches),
             },
+            "multi_session": multi,
             "blind_step_reduction_vs_transfer_ff": (
                 ff_stats.ticks_executed / max(1, noop)
             ),
             "records_identical": (
                 serial_records == ff_records == event_records
             ),
-            "cpu_count": os.cpu_count(),
+            "env": bench_env(),
         }
         return results
 
@@ -185,3 +250,10 @@ def test_perf_event_engine(benchmark, show):
     # still beat the serial loop on wall-clock.
     assert results["blind_step_reduction_vs_transfer_ff"] >= 10.0
     assert results["event"]["speedup_vs_serial"] > 1.05
+    # Producer-pushed deadlines: each dispatch costs about one push
+    # (one wake re-arm), not a cancel-and-repush across all producers.
+    assert results["event"]["pushes_per_dispatch"] < 1.5
+    # Shared-link sessions: the event loop must reproduce the tick
+    # loop's ClientResults exactly and win on wall-clock.
+    assert results["multi_session"]["results_identical"]
+    assert results["multi_session"]["event_speedup_vs_tick"] > 1.0

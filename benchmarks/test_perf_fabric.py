@@ -36,7 +36,7 @@ from repro.net.traces import PROFILE_COUNT
 from repro.obs.metrics import process_registry, reset_process_registry
 from repro.services import ALL_SERVICE_NAMES
 
-from benchmarks.conftest import once
+from benchmarks.conftest import bench_env, once
 
 GRID_DURATION_S = 45.0
 FABRIC_BASELINE_PATH = Path(__file__).resolve().parent / "BENCH_fabric.json"
@@ -112,7 +112,7 @@ def test_perf_fabric(benchmark, show, tmp_path):
                 "duration_s": GRID_DURATION_S,
                 "catalogues": catalogues,
             },
-            "cpu_count": os.cpu_count(),
+            "env": bench_env(),
             "workers": workers,
             "serial": {"wall_s": serial_wall},
             "pool": {

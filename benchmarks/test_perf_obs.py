@@ -12,7 +12,6 @@ from __future__ import annotations
 
 import dataclasses
 import json
-import os
 import time
 from pathlib import Path
 
@@ -21,7 +20,7 @@ from repro.core.run import execute
 from repro.media.cache import clear_asset_cache
 from repro.services import ALL_SERVICE_NAMES
 
-from benchmarks.conftest import once
+from benchmarks.conftest import bench_env, once
 
 GRID_DURATION_S = 45.0
 GRID_PROFILES = (2, 5, 9, 13)
@@ -77,7 +76,7 @@ def test_perf_obs_overhead(benchmark, show):
                 == [outcome.record for outcome in traced]
                 == [outcome.record for outcome in profiled]
             ),
-            "cpu_count": os.cpu_count(),
+            "env": bench_env(),
         }
 
     results = once(benchmark, run)

@@ -31,7 +31,7 @@ from repro.media.cache import asset_cache, clear_asset_cache
 from repro.net.traces import PROFILE_COUNT
 from repro.services import ALL_SERVICE_NAMES, get_service
 
-from benchmarks.conftest import once
+from benchmarks.conftest import bench_env, once
 
 GRID_DURATION_S = 45.0
 BASELINE_PATH = Path(__file__).resolve().parent / "BENCH_sweep.json"
@@ -114,7 +114,7 @@ def test_perf_sweep(benchmark, show):
             "duration_s": GRID_DURATION_S,
             "simulated_s": simulated,
         }
-        results["cpu_count"] = os.cpu_count()
+        results["env"] = bench_env()
         return results
 
     results = once(benchmark, run)
@@ -218,7 +218,7 @@ def test_perf_transfer_batching(benchmark, show):
             "records_identical": (
                 serial_records == idle_records == full_records
             ),
-            "cpu_count": os.cpu_count(),
+            "env": bench_env(),
         }
 
     results = once(benchmark, run)

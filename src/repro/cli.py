@@ -219,7 +219,18 @@ def _render_event_metrics(metrics) -> str:
             kind = dict(labels).get("type", "?")
             lines.append(f"    {kind:<15}: {value:.0f}")
     lines.append(f"  queue pushes    : {pushes:.0f}")
+    cancelled = metrics.value("session.queue_cancelled") or 0
+    lines.append(f"  queue cancelled : {cancelled:.0f}")
     lines.append(f"  queue depth max : {depth:.0f}")
+    stops = [
+        (dict(labels).get("reason", "?"), value)
+        for name, labels, value in metrics.counters
+        if name == "session.advance_stops"
+    ]
+    if stops:
+        lines.append("  advance stops   :")
+        for reason, value in sorted(stops):
+            lines.append(f"    {reason:<15}: {value:.0f}")
     return "\n".join(lines)
 
 

@@ -6,7 +6,12 @@ from repro.core.session import (
     SessionResult,
 )
 from repro.core.events import Event, EventDrivenSession, EventQueue, EventType
-from repro.core.multi import ClientResult, MultiSession, run_shared_link
+from repro.core.multi import (
+    ClientResult,
+    EventDrivenMultiSession,
+    MultiSession,
+    run_shared_link,
+)
 from repro.core.experiment import (
     ProfileRun,
     profile_sweep_specs,
@@ -58,6 +63,7 @@ __all__ = [
     "EventQueue",
     "EventType",
     "ClientResult",
+    "EventDrivenMultiSession",
     "MultiSession",
     "run_shared_link",
     "ProfileRun",

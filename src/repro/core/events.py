@@ -6,7 +6,7 @@ RRC → player pipeline just to find out whether anything changed, and
 its two fast-forward layers re-derive their batch windows from the
 change-point contracts (``next_change_at``, ``transfer_noop_ticks``,
 ``slow_start_horizon_ticks``) on every jump.  This module inverts the
-control flow: producers *register* their next event in an
+control flow: producers *push* their next event into an
 :class:`EventQueue` and :class:`EventDrivenSession` advances the clock
 from event to event, executing a serial tick only at event instants.
 
@@ -27,23 +27,30 @@ it pins the design:
 * Dispatch classification is post-hoc (it reads cheap deltas after the
   tick), so it cannot perturb the simulation.
 
-"Zero per-tick scanning" consequently means no per-tick *vetting*: the
-engine asks each producer once per event for its next event time, then
-jumps.  The arithmetic inside a certified window still runs per tick —
-that is what byte-identity costs, and it is cheap (no branching, no
-job scans, no schedule lookups).
+Each producer owns its deadline (phase 2 of the engine):
 
-What the event engine adds over the tick engine's fast-forward layers:
+* **Player**: one ``PLAYER_WAKE`` per session, the minimum over the
+  margin contracts (ABR drain thresholds, segment boundaries,
+  rebuffer/resume flips, retry backoffs).  The deadline is *absolute*
+  and stays valid until the next dispatched tick — mode and margins can
+  only change when a serial tick runs — so it is recomputed once per
+  dispatch and re-pushed only when it actually moved.  Batch rounds in
+  between re-derive nothing.
+* **Scheduler**: one advisory ``TRANSFER_COMPLETE`` estimate per
+  in-flight job, pushed when the job's transfers start (closed-form
+  slow-start horizon under a fair capacity share) and cancelled when
+  the job leaves flight.  Estimates never force a dispatch: exact
+  completion boundaries come from ``advance_many``'s stop reason, so a
+  stale estimate is simply dropped.
+* **Fault plane**: static ``FAULT_CHANGE`` entries for dead-air
+  boundaries and reset times, registered up front.
 
-* windows of a single tick are batched too (the tick engine requires
-  >= 2 and otherwise falls into the full scan);
-* stalled windows — startup/rebuffer waits and retry backoffs with
-  nothing in flight — are batched via
-  :meth:`~repro.player.player.Player.stalled_noop_ticks` (the tick
-  engine executes those serially, which is why fault scenarios gained
-  the most);
-* one planning pass per event instead of two ``_try_*`` probes per
-  serial tick.
+``Network.advance_many`` reports *why* it stopped (completion /
+schedule change / fault / horizon).  A ``completion`` stop is a
+promise that the very next tick completes a transfer, so the loop
+dispatches it immediately instead of paying a second ``advance_many``
+probe that would return 0 — and instead of re-deriving player margins
+that cannot have changed.
 """
 
 from __future__ import annotations
@@ -55,6 +62,10 @@ import math
 from time import perf_counter
 
 from repro.core.session import Session, SessionResult
+from repro.net.network import (
+    ADVANCE_COMPLETION,
+    ADVANCE_FAULT,
+)
 from repro.obs import EventJump
 from repro.player.events import SegmentPlayStarted
 from repro.player.player import PlayerState
@@ -68,8 +79,10 @@ class EventType(enum.Enum):
     records *what it found*.  ABR/replacement wakes, rebuffer/render
     deadlines and retry-backoff expiries all surface as the player's
     single ``PLAYER_WAKE`` (the minimum over its margin contracts);
-    RRC timers need no events at all — radio state is replayed
-    per-tick inside every batched window.
+    ``TRANSFER_COMPLETE`` entries are the scheduler's per-job
+    completion estimates (advisory — the exact boundary comes from
+    ``advance_many``'s stop reason); RRC timers need no events at all —
+    radio state is replayed per-tick inside every batched window.
     """
 
     PLAYER_WAKE = "player_wake"
@@ -105,13 +118,19 @@ class EventQueue:
     every run.  Cancellation is lazy (the heap entry is tombstoned and
     skimmed on the next peek/pop), so ``cancel`` is O(1) and a
     cancel + re-register cycle never loses or duplicates live events.
+    Tombstones cannot pile up: when dead entries outnumber live ones
+    (beyond a small floor) the heap is compacted in one pass, so the
+    heap stays O(live) under producer cancel/re-push churn.
     """
+
+    _COMPACT_MIN = 64
 
     def __init__(self) -> None:
         self._heap: list[tuple[float, int, int, Event]] = []
         self._seq = itertools.count()
         self._live = 0
         self.pushed_total = 0
+        self.cancelled_total = 0
 
     def __len__(self) -> int:
         """Number of live (un-cancelled, un-popped) events."""
@@ -131,10 +150,27 @@ class EventQueue:
         return event
 
     def cancel(self, event: Event) -> None:
-        """Tombstone ``event``; idempotent, no-op if already popped."""
+        """Tombstone ``event``; idempotent, no-op if already popped.
+
+        Counted in ``cancelled_total`` (explicit producer cancels only,
+        not pops).  Triggers a compaction when tombstones dominate.
+        """
         if not event.cancelled:
             event.cancelled = True
             self._live -= 1
+            self.cancelled_total += 1
+            heap = self._heap
+            if len(heap) >= self._COMPACT_MIN and len(heap) > 2 * self._live:
+                self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap from live entries only.
+
+        The entries are total-ordered tuples, so heapify reproduces the
+        exact pop order the skimmed heap would have produced.
+        """
+        self._heap = [entry for entry in self._heap if not entry[3].cancelled]
+        heapq.heapify(self._heap)
 
     def _skim(self) -> None:
         heap = self._heap
@@ -158,6 +194,12 @@ class EventQueue:
         # of a stale handle cannot corrupt the live count.
         event.cancelled = True
         self._live -= 1
+        # Pops shrink the live count without skimming mid-heap
+        # tombstones, so the dominance bound must be re-checked here
+        # too, not just on cancel.
+        heap = self._heap
+        if len(heap) >= self._COMPACT_MIN and len(heap) > 2 * self._live:
+            self._compact()
         return event
 
     def pop_due(self, time: float) -> list[Event]:
@@ -170,46 +212,15 @@ class EventQueue:
             due.append(self.pop())
 
 
-class EventDrivenSession(Session):
-    """A :class:`Session` that advances the clock event to event.
+class EventLoopCore:
+    """Queue plumbing shared by the single- and multi-session loops.
 
-    Same constructor, same :meth:`_finish`, same result types; only the
-    main loop differs.  The ``fast_forward`` flags are ignored — the
-    event engine always batches, and its accounting lands in the same
-    counters (``ticks_executed`` = dispatched event ticks,
-    ``fast_forwarded_ticks`` / ``transfer_fast_forwarded_ticks`` =
-    batched ticks), so :class:`~repro.core.parallel.TickStats` and its
-    ``ticks_simulated`` invariant hold unchanged.
+    Requires the host to provide ``clock``, ``network``, ``queue``,
+    ``max_queue_depth``, ``_limit`` and ``_job_estimates``.  Keeping one
+    implementation of fault registration, estimate management and
+    stale-event skimming is part of the byte-identity argument: both
+    engines batch under exactly the same event semantics.
     """
-
-    engine = "event"
-
-    def __init__(self, *args, **kwargs):
-        super().__init__(*args, **kwargs)
-        self.queue = EventQueue()
-        self.events_dispatched = 0
-        self.dispatch_counts: dict[str, int] = {}
-        self.max_queue_depth = 0
-        self._wake_handle: Event | None = None
-
-    # -- main loop ---------------------------------------------------------
-
-    def run(self, duration_s: float) -> SessionResult:
-        profiler = self.obs.profiler
-        t0 = perf_counter() if profiler is not None else 0.0
-        dt = self.clock.dt
-        limit = duration_s - 1e-9
-        self._register_fault_events()
-        player = self.player
-        while self.clock.now < limit:
-            if player.ended and not player.scheduler.busy:
-                break
-            if self._jump_to_next_event(limit, dt):
-                continue
-            self._dispatch_event_tick(dt)
-        if profiler is not None:
-            profiler.add("event_loop", perf_counter() - t0, 1)
-        return self._finish()
 
     def _register_fault_events(self) -> None:
         """Static producers: the fault plane's change points, up front.
@@ -233,96 +244,286 @@ class EventDrivenSession(Session):
             self.queue.push(at, EventType.FAULT_CHANGE, "reset")
         self.max_queue_depth = len(self.queue)
 
-    def _register_wake(self, at: float, type: EventType) -> None:
-        """Replace the dynamic next-event registration.
+    def _next_event_time(self, now: float) -> float:
+        """Earliest pending event, dropping stale completion estimates.
 
-        Every dispatch or jump invalidates the previous prediction (the
-        margins were computed against pre-event state), so the producer
-        side is one live wake event at a time: cancel, re-register.
+        An estimate that comes due while its job is still in flight
+        under-shot (the closed form assumed a fair share the transfer
+        did not get); it is advisory, so it is popped — never
+        dispatched, which is what keeps estimates out of the ``noop``
+        count — and the exact boundary still arrives as an
+        ``advance_many`` completion stop.
         """
-        if self._wake_handle is not None:
-            self.queue.cancel(self._wake_handle)
-        self._wake_handle = self.queue.push(at, type)
+        queue = self.queue
+        while True:
+            head = queue.peek()
+            if (
+                head is not None
+                and head.type is EventType.TRANSFER_COMPLETE
+                and head.time <= now + 1e-9
+            ):
+                queue.pop()
+                continue
+            return head.time if head is not None else math.inf
+
+    def _sync_job_estimates_for(self, jobs) -> None:
+        """Scheduler-owned events: one completion estimate per job.
+
+        Pushed once when the job's transfers start, cancelled when the
+        job leaves flight; never re-pushed in between (the producer's
+        state did not change).  Estimates are advisory lower bounds —
+        when one is exact, the batch round it bounds ends with an
+        ``advance_many`` completion stop at that very tick, making the
+        dispatch queue-predicted; when it under-shoots it is skimmed.
+        """
+        estimates = self._job_estimates
+        if not jobs and not estimates:
+            return
+        queue = self.queue
+        live_keys = set()
+        clock = self.clock
+        now = clock.now
+        dt = clock.dt
+        for job in jobs:
+            key = id(job)
+            live_keys.add(key)
+            if key in estimates:
+                continue
+            ticks = self._estimate_completion_ticks(job, now, dt)
+            estimates[key] = queue.push(
+                now + ticks * dt, EventType.TRANSFER_COMPLETE, job
+            )
+            self._note_depth()
+        if len(estimates) > len(live_keys):
+            for key in [k for k in estimates if k not in live_keys]:
+                queue.cancel(estimates.pop(key))
+
+    def _estimate_completion_ticks(self, job, now: float, dt: float) -> int:
+        """Closed-form earliest completion for ``job``, in ticks.
+
+        A job completes when its slowest part does, and each part's
+        slow-start horizon is a stays-incomplete bound under a fair
+        share of the link.  Sharing the capacity across active
+        transfers biases the estimate *late* on parallel-connection
+        services — a late estimate costs nothing (the completion stop
+        reason lands first and the estimate is cancelled), while an
+        early one would be skimmed and re-derived.
+        """
+        remaining = int((self._limit - now) / dt) + 1
+        if remaining < 1:
+            remaining = 1
+        parts = job.live_transfers()
+        if not parts:
+            return 1
+        network = self.network
+        capacity = network.effective_capacity(now)
+        active = sum(
+            1 for conn in network.connections if conn.transfer is not None
+        )
+        share = capacity / active if active else capacity
+        ticks = 1
+        for connection, _ in parts:
+            horizon = connection.slow_start_horizon_ticks(share, dt, remaining)
+            if horizon > ticks:
+                ticks = horizon
+        return ticks
+
+    def _note_depth(self) -> None:
         depth = len(self.queue)
         if depth > self.max_queue_depth:
             self.max_queue_depth = depth
 
-    def _jump_to_next_event(self, limit: float, dt: float) -> bool:
-        """Batch up to the next queued/predicted event; True if moved.
 
-        The window math is exactly the tick engine's (same ``int(...)``
-        truncation, same clamp order) minus the >= 2 tick floor: a
-        certified window of one tick is still replayed batched, so the
-        only serial ticks left are genuine event instants.
+class EventDrivenSession(EventLoopCore, Session):
+    """A :class:`Session` that advances the clock event to event.
+
+    Same constructor, same :meth:`_finish`, same result types; only the
+    main loop differs.  The ``fast_forward`` flags are ignored — the
+    event engine always batches, and its accounting lands in the same
+    counters (``ticks_executed`` = dispatched event ticks,
+    ``fast_forwarded_ticks`` / ``transfer_fast_forwarded_ticks`` =
+    batched ticks), so :class:`~repro.core.parallel.TickStats` and its
+    ``ticks_simulated`` invariant hold unchanged.
+    """
+
+    engine = "event"
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.queue = EventQueue()
+        self.events_dispatched = 0
+        self.dispatch_counts: dict[str, int] = {}
+        self.advance_stop_counts: dict[str, int] = {}
+        self.max_queue_depth = 0
+        self._wake_handle: Event | None = None
+        self._wake_layer = "stalled"
+        self._job_estimates: dict[int, Event] = {}
+        self._completion_due = False
+        self._limit = 0.0
+
+    # -- main loop ---------------------------------------------------------
+
+    def run(self, duration_s: float) -> SessionResult:
+        profiler = self.obs.profiler
+        t0 = perf_counter() if profiler is not None else 0.0
+        dt = self.clock.dt
+        limit = duration_s - 1e-9
+        self._limit = limit
+        self._register_fault_events()
+        self._reschedule_wake()
+        player = self.player
+        clock = self.clock
+        while clock.now < limit:
+            if player.ended and not player.scheduler.busy:
+                break
+            if self._completion_due:
+                # advance_many promised the next tick completes a
+                # transfer: dispatch it straight away — no queue scan,
+                # no margin recompute, no wasted 0-tick probe.
+                self._completion_due = False
+                self._dispatch_event_tick(dt)
+                self._after_dispatch()
+                continue
+            now = clock.now
+            next_t = self._next_event_time(now)
+            if next_t <= now + 1e-9:
+                self._dispatch_event_tick(dt)
+                self._after_dispatch()
+                continue
+            self._batch_to(min(next_t, limit), limit, dt)
+        if profiler is not None:
+            profiler.add("event_loop", perf_counter() - t0, 1)
+        return self._finish()
+
+    def _batch_to(self, target: float, limit: float, dt: float) -> None:
+        """Replay the certified no-op window ending at ``target``.
+
+        The window math is the tick engine's (same ``int(...)``
+        truncation, same clamp order) with two removals: no per-round
+        margin recompute (the player wake is an absolute deadline,
+        valid until the next dispatch) and no per-round fault horizon
+        (fault change points are queue entries, so ``target`` already
+        stops short of them).
         """
-        now = self.clock.now
-        max_ticks = int((limit - now) / dt)
-        if max_ticks < 1:
-            return False  # the final tick always runs serially
+        clock = self.clock
+        now = clock.now
+        # Unlike the tick loop's planner this cap includes the final
+        # tick: the oracle executes ticks while now < limit, so the
+        # last window may batch straight through to the end instead of
+        # dispatching one (usually no-op) serial tick per session.
+        remaining = int((limit - now) / dt) + 1
+        ticks = int((target - now - 1e-9) / dt) + 1
+        if ticks > remaining:
+            ticks = remaining
+        if ticks < 1:
+            self._dispatch_event_tick(dt)
+            self._after_dispatch()
+            return
         network = self.network
         player = self.player
         if network.steady_for_batching():
-            ticks = player.transfer_noop_ticks(dt, max_ticks)
-            self._register_wake(now + ticks * dt, EventType.PLAYER_WAKE)
-            if ticks < 1:
-                return False
-            # No slow-start horizon probe here: it is advisory (the tick
-            # engine keeps it as a planning heuristic) and ``advance_many``
-            # re-checks completion exactly per tick, stopping *before* any
-            # completing tick.  Asking for the full player margin lets one
-            # micro-loop call run to the true boundary instead of paying
-            # per-call planning for each advisory slice.
-            executed, activity = network.advance_many(ticks, dt)
+            executed, activity, reason = network.advance_many(ticks, dt)
+            counts = self.advance_stop_counts
+            counts[reason] = counts.get(reason, 0) + 1
+            if reason == ADVANCE_COMPLETION:
+                self._completion_due = True
             if executed <= 0:
-                return False  # completion or fault due: dispatch serially
+                # A completion or fault is due on this very tick.
+                self._completion_due = False
+                self._dispatch_event_tick(dt)
+                self._after_dispatch()
+                return
             player.apply_noop_ticks(executed, dt)
+            rrc = self.rrc
             for radio_active in activity:
-                self.rrc.observe(radio_active, dt)
-                self.clock.tick()
+                rrc.observe(radio_active, dt)
+                clock.tick()
             self.transfer_fast_forwarded_ticks += executed
             self.transfer_fast_forward_jumps += 1
-            # A short window means advance_many hit a boundary the player
-            # margin did not see: a completing transfer, a capacity change
-            # point or a fault horizon — all surfacing as the next dispatch.
-            bound = (
-                EventType.PLAYER_WAKE
-                if executed == ticks
-                else EventType.TRANSFER_COMPLETE
-            )
-            self._emit_jump(now, "transfer", executed, bound)
-            return True
+            self._emit_jump(now, "transfer", executed, reason)
+            return
         if player.scheduler.busy:
             # Jobs in flight with no live transfer: no contract covers
             # this edge, so the tick runs serially.
-            self._register_wake(now + dt, EventType.PLAYER_WAKE)
-            return False
-        if player.state is PlayerState.PLAYING:
-            ticks = player.idle_noop_ticks(dt, max_ticks)
-            layer = "idle"
-        else:
-            ticks = player.stalled_noop_ticks(dt, max_ticks)
-            layer = "stalled"
-        # Fault change points (including no-op resets) must execute on
-        # the serial path so the fault cursor advances identically.
-        ticks = network.fault_horizon_ticks(ticks, dt)
-        self._register_wake(now + ticks * dt, EventType.PLAYER_WAKE)
-        if ticks < 1:
-            return False
+            self._dispatch_event_tick(dt)
+            self._after_dispatch()
+            return
         # With no transfer anywhere the link moves no bytes and
         # connection control is a no-op (the tick engine's idle-jump
         # argument, state-independent): replay player no-ops, RRC idle
         # observations and clock ticks, skip network.advance entirely.
         player.apply_noop_ticks(ticks, dt)
+        rrc = self.rrc
         for _ in range(ticks):
-            self.rrc.observe(False, dt)
-            self.clock.tick()
+            rrc.observe(False, dt)
+            clock.tick()
         self.fast_forwarded_ticks += ticks
         self.fast_forward_jumps += 1
-        self._emit_jump(now, layer, ticks, EventType.PLAYER_WAKE)
-        return True
+        self._emit_jump(now, self._wake_layer, ticks, "player_wake")
+
+    # -- producers ---------------------------------------------------------
+
+    def _after_dispatch(self) -> None:
+        """Refresh producer-owned deadlines after a serial tick.
+
+        Only a dispatched tick can change the player's mode or margins
+        or start/finish jobs, so this is the single point where
+        producers reconsider — batch rounds re-derive nothing.
+        """
+        player = self.player
+        if player.ended and not player.scheduler.busy:
+            return  # the loop is about to break
+        self._reschedule_wake()
+        self._sync_job_estimates()
+
+    def _reschedule_wake(self) -> None:
+        """Recompute the player's absolute deadline; re-push iff moved.
+
+        The margin contracts return provable no-op tick counts from
+        *now*; converted to an absolute instant the deadline stays
+        valid across batch rounds because mode (transfer/idle/stalled)
+        and margin premises can only change at a dispatched tick.  When
+        the recomputed deadline equals the live wake's, the old entry
+        is kept — that is what drops queue pushes below one per
+        dispatch on completion-heavy runs.
+        """
+        player = self.player
+        clock = self.clock
+        now = clock.now
+        dt = clock.dt
+        remaining = int((self._limit - now) / dt) + 1
+        if remaining < 1:
+            remaining = 1
+        if self.network.steady_for_batching():
+            ticks = player.transfer_noop_ticks(dt, remaining)
+            self._wake_layer = "transfer"
+        elif player.scheduler.busy:
+            ticks = 0  # no contract for busy-without-transfer: serial
+            self._wake_layer = "serial"
+        elif player.state is PlayerState.PLAYING:
+            ticks = player.idle_noop_ticks(dt, remaining)
+            self._wake_layer = "idle"
+        else:
+            ticks = player.stalled_noop_ticks(dt, remaining)
+            self._wake_layer = "stalled"
+        deadline = now + ticks * dt
+        handle = self._wake_handle
+        if (
+            handle is not None
+            and not handle.cancelled
+            and abs(handle.time - deadline) <= 1e-9
+        ):
+            return  # the player's own state did not move its deadline
+        if handle is not None:
+            self.queue.cancel(handle)
+        self._wake_handle = self.queue.push(deadline, EventType.PLAYER_WAKE)
+        self._note_depth()
+
+    def _sync_job_estimates(self) -> None:
+        self._sync_job_estimates_for(self.player.scheduler.jobs())
 
     def _emit_jump(
-        self, start: float, layer: str, ticks: int, bound: EventType
+        self, start: float, layer: str, ticks: int, bound: str
     ) -> None:
         tracer = self.obs.tracer
         if tracer.enabled:
@@ -332,7 +533,7 @@ class EventDrivenSession(Session):
                     layer=layer,
                     ticks=ticks,
                     end_s=self.clock.now,
-                    next_event=bound.value,
+                    next_event=bound,
                 )
             )
 
@@ -350,7 +551,7 @@ class EventDrivenSession(Session):
         scheduler = player.scheduler
         tick_start = self.clock.now
         due = self.queue.pop_due(tick_start + 1e-9)
-        before_completed = scheduler.completed_jobs
+        before_completed = scheduler.completed_parts
         before_inflight = scheduler.inflight()
         before_events = len(player.events.events)
         before_state = player.state
@@ -386,15 +587,18 @@ class EventDrivenSession(Session):
 
         Priority order matters only for the label (a reset both fires a
         fault and completes jobs as failures; the fault is the cause).
-        ``noop`` is the honest residue — ticks the engine executed
-        without a state change to show for them (conservative margins);
-        BENCH_event.json tracks them as the engine's blind steps.
+        Completion is counted at the wire level (``completed_parts``),
+        so a split job's intermediate byte-range parts label their
+        ticks too.  ``noop`` is the honest residue — ticks the engine
+        executed without a state change to show for them (conservative
+        margins); BENCH_event.json tracks them as the engine's blind
+        steps.
         """
         player = self.player
         scheduler = player.scheduler
         if any(event.type is EventType.FAULT_CHANGE for event in due):
             return "fault_change"
-        if scheduler.completed_jobs > before_completed:
+        if scheduler.completed_parts > before_completed:
             return "transfer_complete"
         if scheduler.inflight() > before_inflight:
             return "fetch_submitted"
@@ -415,7 +619,7 @@ class EventDrivenSession(Session):
         """Per-event-type dispatch counts and queue stats, on top of the
         base session counters.  All pure functions of the RunSpec (the
         sweep-aggregation contract): the queue's content is fully
-        determined by the spec's faults and the deterministic planner.
+        determined by the spec's faults and the deterministic producers.
         """
         super()._record_metrics()
         metrics = self.obs.metrics
@@ -425,4 +629,25 @@ class EventDrivenSession(Session):
                 self.dispatch_counts[kind]
             )
         metrics.counter("session.queue_pushes").inc(self.queue.pushed_total)
+        metrics.counter("session.queue_cancelled").inc(
+            self.queue.cancelled_total
+        )
         metrics.gauge("session.queue_depth_max").set(self.max_queue_depth)
+        for reason in sorted(self.advance_stop_counts):
+            metrics.counter("session.advance_stops", reason=reason).inc(
+                self.advance_stop_counts[reason]
+            )
+
+
+# Re-exported for the multi-session event loop (core.multi imports the
+# queue machinery from here; keeping one queue implementation is part
+# of the byte-identity argument).
+__all__ = [
+    "ADVANCE_COMPLETION",
+    "ADVANCE_FAULT",
+    "Event",
+    "EventDrivenSession",
+    "EventLoopCore",
+    "EventQueue",
+    "EventType",
+]

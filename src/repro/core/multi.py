@@ -6,6 +6,13 @@ testbed can answer directly: :class:`MultiSession` runs N independent
 players (possibly different services) against one shaped link, with a
 single proxy capturing all flows, and attributes downloads back to
 each player by URL namespace.
+
+Two engines share the byte-identity contract the single-session runner
+established: the lock-step tick loop (:class:`MultiSession`, the
+oracle) and :class:`EventDrivenMultiSession`, which steps the shared
+clock event to event over one :class:`~repro.core.events.EventQueue`
+holding every client's producer deadlines — per-player wakes, per-job
+completion estimates and the fault plane's static change points.
 """
 
 from __future__ import annotations
@@ -14,16 +21,26 @@ import dataclasses
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
+from repro.analysis.faults import FaultInjectingHandler, FaultSpec
 from repro.analysis.proxy import Proxy
 from repro.analysis.qoe import QoeReport, compute_qoe
 from repro.analysis.traffic import TrafficAnalyzer
 from repro.analysis.ui import UiMonitor
+from repro.core.events import (
+    ADVANCE_COMPLETION,
+    Event,
+    EventLoopCore,
+    EventQueue,
+    EventType,
+)
 from repro.net.clock import Clock
 from repro.net.network import Network
 from repro.net.schedule import BandwidthSchedule
 from repro.player.player import Player, PlayerState
 from repro.server.origin import OriginServer
 from repro.services.profiles import BuiltService, build_service, get_service
+
+MULTI_ENGINES = ("tick", "event")
 
 
 @dataclass
@@ -41,6 +58,8 @@ class ClientResult:
 class MultiSession:
     """N players, one link, one clock, one flow capture."""
 
+    engine = "tick"
+
     def __init__(
         self,
         builts: Sequence[BuiltService],
@@ -50,15 +69,32 @@ class MultiSession:
         dt: float = 0.1,
         rtt_s: float = 0.05,
         fast_forward: bool = False,
+        faults: Optional[FaultSpec] = None,
     ):
         if not builts:
             raise ValueError("need at least one client")
         self.builts = list(builts)
         self.fast_forward = fast_forward
+        self.ticks_executed = 0
         self.fast_forwarded_ticks = 0
         self.clock = Clock(dt=dt)
-        self.proxy = Proxy(server)
-        self.network = Network(self.clock, self.proxy, schedule, rtt_s=rtt_s)
+        self.faults = faults
+        # Same layering as Session: origin faults sit between proxy and
+        # origin (the proxy records what actually crossed the wire),
+        # the transport plane rides inside the shared network.
+        self.fault_injector: Optional[FaultInjectingHandler] = None
+        origin_handler = server
+        if faults is not None and faults.has_origin_faults:
+            self.fault_injector = FaultInjectingHandler(server, self.clock, faults)
+            origin_handler = self.fault_injector
+        self.proxy = Proxy(origin_handler)
+        self.network = Network(
+            self.clock,
+            self.proxy,
+            schedule,
+            rtt_s=rtt_s,
+            faults=faults.transport_plane() if faults is not None else None,
+        )
         self.network.observers.append(self.proxy)
         self.players = [
             Player(self.clock, self.network, built.player_config,
@@ -75,6 +111,7 @@ class MultiSession:
             for player in self.players:
                 player.advance(dt)
             self.clock.tick()
+            self.ticks_executed += 1
             if all(player.ended for player in self.players):
                 break
         return self._collect_results()
@@ -97,6 +134,9 @@ class MultiSession:
         ticks = min(
             player.idle_noop_ticks(dt, max_ticks) for player in self.players
         )
+        # Fault change points (including no-op resets) must execute on
+        # the serial path so the fault cursor advances identically.
+        ticks = self.network.fault_horizon_ticks(ticks, dt)
         if ticks < 2:
             return False
         for player in self.players:
@@ -131,6 +171,196 @@ class MultiSession:
         return results
 
 
+class EventDrivenMultiSession(EventLoopCore, MultiSession):
+    """A :class:`MultiSession` stepping event to event on one queue.
+
+    Per-client producer ownership scales the single-session design to N
+    players on a shared link: every player keeps one ``PLAYER_WAKE``
+    (its margin-contract deadline, absolute), every in-flight job one
+    advisory completion estimate, the fault plane its static entries —
+    all in one shared :class:`EventQueue`.  After a dispatched tick
+    only players whose observable state moved (a cheap signature over
+    state / wire completions / in-flight count / emitted events / pause
+    flags) recompute their deadline; everyone else's wake stays put.
+    That is what replaces the lock-step loop's per-tick, per-player
+    scan, while batched windows replay through the identical primitives
+    (``Network.advance_many`` over the shared link, per-player
+    ``apply_noop_ticks``), keeping ``ClientResult``s byte-identical.
+    """
+
+    engine = "event"
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.queue = EventQueue()
+        self.events_dispatched = 0
+        self.max_queue_depth = 0
+        self._completion_due = False
+        self._limit = 0.0
+        self._wake_handles: list[Event | None] = [None] * len(self.players)
+        self._wake_sigs: list[object] = [None] * len(self.players)
+        self._job_estimates: dict[int, Event] = {}
+
+    def run(self, duration_s: float) -> list[ClientResult]:
+        dt = self.clock.dt
+        limit = duration_s - 1e-9
+        self._limit = limit
+        self._register_fault_events()
+        self._refresh_producers()
+        clock = self.clock
+        while clock.now < limit:
+            if self._completion_due:
+                # advance_many promised the next tick completes a
+                # transfer: dispatch it without re-probing anything.
+                self._completion_due = False
+                if self._dispatch_tick(dt):
+                    break
+                continue
+            now = clock.now
+            next_t = self._next_event_time(now)
+            if next_t <= now + 1e-9:
+                if self._dispatch_tick(dt):
+                    break
+                continue
+            if self._batch_to(min(next_t, limit), limit, dt):
+                break
+        return self._collect_results()
+
+    # -- serial event instants --------------------------------------------
+
+    def _dispatch_tick(self, dt: float) -> bool:
+        """One oracle tick at an event instant; True ends the session."""
+        self.queue.pop_due(self.clock.now + 1e-9)
+        self.network.advance(dt)
+        for player in self.players:
+            player.advance(dt)
+        self.clock.tick()
+        self.ticks_executed += 1
+        self.events_dispatched += 1
+        if all(player.ended for player in self.players):
+            return True  # mirror the oracle's post-tick break
+        self._refresh_producers()
+        return False
+
+    def _refresh_producers(self) -> None:
+        """Re-arm deadlines for players whose own state moved.
+
+        A player's wake deadline is absolute and its margin premises
+        can only change at a dispatched tick that touched *that*
+        player, so the signature check skips the margin walk for every
+        bystander (the common case on a shared link: one client's
+        completion leaves the other N-1 untouched).  A popped or due
+        wake always recomputes — serial stretches re-vet every tick,
+        exactly like the single-session engine.
+        """
+        queue = self.queue
+        for index, player in enumerate(self.players):
+            scheduler = player.scheduler
+            sig = (
+                player.state,
+                scheduler.completed_parts,
+                scheduler.inflight(),
+                len(player.events.events),
+                player.pause_state(),
+            )
+            handle = self._wake_handles[index]
+            if (
+                handle is not None
+                and not handle.cancelled
+                and sig == self._wake_sigs[index]
+            ):
+                continue  # this producer's state did not change
+            self._wake_sigs[index] = sig
+            deadline = self._player_deadline(player)
+            if handle is not None and not handle.cancelled:
+                if abs(handle.time - deadline) <= 1e-9:
+                    continue
+                queue.cancel(handle)
+            self._wake_handles[index] = queue.push(
+                deadline, EventType.PLAYER_WAKE, index
+            )
+            self._note_depth()
+        self._sync_job_estimates()
+
+    def _sync_job_estimates(self) -> None:
+        jobs = []
+        for player in self.players:
+            jobs.extend(player.scheduler.jobs())
+        self._sync_job_estimates_for(jobs)
+
+    def _player_deadline(self, player: Player) -> float:
+        """This player's absolute wake deadline under its current mode.
+
+        Mode mirrors the single-session engine per player: a busy
+        scheduler vets via ``transfer_noop_ticks`` (global batching
+        guarantees no completion inside the window), otherwise the
+        playing/stalled contracts apply.  A busy scheduler without live
+        wire parts has no contract and wakes next tick.
+        """
+        clock = self.clock
+        now = clock.now
+        dt = clock.dt
+        remaining = int((self._limit - now) / dt) + 1
+        if remaining < 1:
+            remaining = 1
+        if player.scheduler.busy:
+            if any(job.live_transfers() for job in player.scheduler.jobs()):
+                ticks = player.transfer_noop_ticks(dt, remaining)
+            else:
+                ticks = 0
+        elif player.state is PlayerState.PLAYING:
+            ticks = player.idle_noop_ticks(dt, remaining)
+        else:
+            ticks = player.stalled_noop_ticks(dt, remaining)
+        return now + ticks * dt
+
+    # -- batched windows ---------------------------------------------------
+
+    def _batch_to(self, target: float, limit: float, dt: float) -> bool:
+        """Replay the certified no-op window ending at ``target``.
+
+        Same window math as the single-session engine; every player
+        replays its own no-op ticks against the shared clock.  Returns
+        True when a dispatch taken on the serial fallback path ended
+        the session.
+        """
+        clock = self.clock
+        now = clock.now
+        remaining = int((limit - now) / dt) + 1
+        ticks = int((target - now - 1e-9) / dt) + 1
+        if ticks > remaining:
+            ticks = remaining
+        players = self.players
+        if ticks < 1:
+            return self._dispatch_tick(dt)
+        if self.network.steady_for_batching():
+            executed, activity, reason = self.network.advance_many(ticks, dt)
+            if reason == ADVANCE_COMPLETION:
+                self._completion_due = True
+            if executed <= 0:
+                # A completion or fault is due on this very tick.
+                self._completion_due = False
+                return self._dispatch_tick(dt)
+            for player in players:
+                player.apply_noop_ticks(executed, dt)
+            for _ in range(executed):
+                clock.tick()
+            self.fast_forwarded_ticks += executed
+            return False
+        if any(player.scheduler.busy for player in players):
+            # Jobs in flight with no live transfer anywhere: no
+            # contract covers this edge, so the tick runs serially.
+            return self._dispatch_tick(dt)
+        # No transfer on the shared link: the network is a no-op, every
+        # player replays playhead/UI only (the idle-jump argument).
+        for player in players:
+            player.apply_noop_ticks(ticks, dt)
+        for _ in range(ticks):
+            clock.tick()
+        self.fast_forwarded_ticks += ticks
+        return False
+
+
 def run_shared_link(
     spec_or_names: Sequence,
     schedule: BandwidthSchedule,
@@ -141,13 +371,21 @@ def run_shared_link(
     rtt_s: float = 0.05,
     content_seed: int = 11,
     fast_forward: bool = False,
+    faults: Optional[FaultSpec] = None,
+    engine: str = "tick",
 ) -> list[ClientResult]:
     """Convenience: host each service and run them on one shared link.
 
     Each client gets its own content seed so titles differ, and its own
     URL namespace so flow attribution is unambiguous (even when two
-    clients stream the same service).
+    clients stream the same service).  ``engine`` selects the lock-step
+    tick loop (``"tick"``, the oracle) or the shared-queue event loop
+    (``"event"``) — both produce identical :class:`ClientResult`s.
     """
+    if engine not in MULTI_ENGINES:
+        raise ValueError(
+            f"unknown engine {engine!r}; expected one of {MULTI_ENGINES}"
+        )
     server = OriginServer()
     builts = []
     for index, spec_or_name in enumerate(spec_or_names):
@@ -163,7 +401,9 @@ def run_shared_link(
                 base_url=f"https://cdn{index}.example.com",
             )
         )
-    session = MultiSession(
-        builts, server, schedule, dt=dt, rtt_s=rtt_s, fast_forward=fast_forward
+    session_cls = EventDrivenMultiSession if engine == "event" else MultiSession
+    session = session_cls(
+        builts, server, schedule, dt=dt, rtt_s=rtt_s,
+        fast_forward=fast_forward, faults=faults,
     )
     return session.run(duration_s)

@@ -330,7 +330,7 @@ class Session:
                 ticks = connection.slow_start_horizon_ticks(capacity, dt, ticks)
                 if ticks < 2:
                     return False
-        executed, activity = network.advance_many(ticks, dt)
+        executed, activity, _ = network.advance_many(ticks, dt)
         if executed <= 0:
             return False
         window_start = self.clock.now

@@ -23,6 +23,15 @@ from repro.util import check_non_negative
 
 DEFAULT_HEADER_OVERHEAD_BYTES = 360
 
+# Stop reasons for :meth:`Network.advance_many` — *why* the batched
+# micro-loop returned.  Callers use them for control flow (a
+# ``completion`` means the very next tick completes a transfer and must
+# run serially; no re-probe needed), metrics label them as-is.
+ADVANCE_HORIZON = "horizon"  # executed everything the caller asked for
+ADVANCE_COMPLETION = "completion"  # next tick would complete a transfer
+ADVANCE_SCHEDULE = "schedule"  # clamped at a capacity change point
+ADVANCE_FAULT = "fault"  # clamped at (or stopped on) a fault change point
+
 
 class NetworkObserver(Protocol):
     """Sees request starts and completions (used by the proxy)."""
@@ -224,7 +233,9 @@ class Network:
             connection.transfer is not None for connection in self.connections
         )
 
-    def advance_many(self, max_ticks: int, dt: float) -> tuple[int, list[bool]]:
+    def advance_many(
+        self, max_ticks: int, dt: float
+    ) -> tuple[int, list[bool], str]:
         """Replay up to ``max_ticks`` download ticks in one call.
 
         Requires :meth:`steady_for_batching`.  Executes the exact
@@ -240,17 +251,26 @@ class Network:
         state mutated while planning that tick is restored, so the
         serial tick re-runs it identically).
 
-        Returns ``(ticks_executed, per_tick_radio_activity)``; the clock
+        Returns ``(ticks_executed, per_tick_radio_activity, reason)``
+        where ``reason`` names why the loop returned (one of
+        ``ADVANCE_HORIZON`` / ``ADVANCE_COMPLETION`` /
+        ``ADVANCE_SCHEDULE`` / ``ADVANCE_FAULT``).  ``completion`` is a
+        promise: the very next tick completes a transfer, so the caller
+        can dispatch it serially without a wasted re-probe.  The clock
         is NOT advanced — the caller replays clock/RRC/player effects.
         """
         link = self.link
         t = self.clock.now
+        clamp_reason = ADVANCE_HORIZON
         if self.schedule is not None:
             change_at = self.schedule.next_change_at(t)
             if change_at != math.inf:
                 # Largest n with every tick start t + k*dt (k < n)
                 # strictly before the change.
-                max_ticks = min(max_ticks, int((change_at - t - 1e-9) / dt) + 1)
+                clamp = int((change_at - t - 1e-9) / dt) + 1
+                if clamp < max_ticks:
+                    max_ticks = clamp
+                    clamp_reason = ADVANCE_SCHEDULE
             capacity = self.schedule.bandwidth_at(t)
         else:
             capacity = link.capacity_bps
@@ -262,10 +282,11 @@ class Network:
                     # An unfired (possibly no-op) reset is due: the
                     # serial path must execute this tick so the reset
                     # cursor advances exactly as in a serial run.
-                    return 0, []
-                max_ticks = min(
-                    max_ticks, int((fault_change - t - 1e-9) / dt) + 1
-                )
+                    return 0, [], ADVANCE_FAULT
+                clamp = int((fault_change - t - 1e-9) / dt) + 1
+                if clamp < max_ticks:
+                    max_ticks = clamp
+                    clamp_reason = ADVANCE_FAULT
             if self.faults.dead_air_at(t):
                 capacity = 0.0
         connections = self.connections
@@ -321,6 +342,7 @@ class Network:
                     connection.state = state
                     connection._handshake_remaining_s = handshake
                     connection._request_latency_remaining_s = latency
+                clamp_reason = ADVANCE_COMPLETION
                 break
             before_link = link.total_bytes_delivered
             for connection, transfer, delivered in plan:
@@ -344,4 +366,4 @@ class Network:
             # the serial tick restores the schedule capacity afterwards,
             # so mirror that by asserting the un-faulted value.
             link.set_capacity(base_capacity)
-        return executed, activity
+        return executed, activity, clamp_reason

@@ -86,6 +86,19 @@ class FetchJob:
         suffix = f"#{self.index}@L{self.level}" if self.index is not None else ""
         return f"{self.kind.value}:{self.stream_type.value}{suffix}"
 
+    def live_transfers(self) -> list:
+        """(connection, transfer) pairs of this job still on the wire.
+
+        The event engine reads these to estimate a job's earliest
+        completion; a part whose connection has moved on (completed,
+        aborted, reused) is excluded.
+        """
+        return [
+            (connection, transfer)
+            for connection, transfer in self._transfers
+            if connection.transfer is transfer
+        ]
+
 
 class Scheduler:
     """Base class: connection bookkeeping and job completion plumbing."""
@@ -112,6 +125,10 @@ class Scheduler:
             StreamType.AUDIO: [],
         }
         self.completed_jobs = 0
+        # Wire-level completions: every part (byte-range request) that
+        # finished or aborted, including those of still-pending split
+        # jobs.  The event engine classifies dispatches with it.
+        self.completed_parts = 0
 
     # -- capacity interface --------------------------------------------------
 
@@ -130,6 +147,12 @@ class Scheduler:
 
     def inflight_jobs(self, stream_type: StreamType) -> list[FetchJob]:
         return list(self._inflight[stream_type])
+
+    def jobs(self) -> list[FetchJob]:
+        """Every in-flight job, both streams, in submission order."""
+        return (
+            self._inflight[StreamType.VIDEO] + self._inflight[StreamType.AUDIO]
+        )
 
     @property
     def busy(self) -> bool:
@@ -150,6 +173,7 @@ class Scheduler:
         def finish(response: HttpResponse) -> None:
             job._responses.append(response)
             job._parts_pending -= 1
+            self.completed_parts += 1
             # A truncated response ends with the server closing the
             # connection; an abort already closed it client-side.  A
             # non-persistent scheduler closes after every response.

@@ -217,6 +217,8 @@ def test_cli_trace_event_engine_prints_counters(capsys):
     assert "event_jump" in out
     assert "event engine:" in out
     assert "dispatches" in out and "queue depth max" in out
+    assert "queue cancelled" in out
+    assert "advance stops" in out
 
 
 def test_cli_compare_accepts_engine(capsys, tmp_path):

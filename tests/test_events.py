@@ -149,3 +149,94 @@ def test_pushed_total_counts_registrations_not_occupancy():
         queue.cancel(queue.push(float(i), EventType.PLAYER_WAKE))
     assert queue.pushed_total == 5
     assert len(queue) == 0
+
+
+def test_cancelled_total_counts_explicit_cancels_only():
+    queue = EventQueue()
+    kept = queue.push(1.0, EventType.PLAYER_WAKE)
+    dropped = queue.push(2.0, EventType.PLAYER_WAKE)
+    queue.cancel(dropped)
+    queue.cancel(dropped)  # idempotent: second cancel must not count
+    assert queue.cancelled_total == 1
+    assert queue.pop() is kept
+    assert queue.pop() is None
+    assert queue.cancelled_total == 1  # pops are not cancels
+
+
+@given(
+    st.lists(st.tuples(times, priorities), min_size=2, max_size=30),
+    st.data(),
+)
+@settings(max_examples=200)
+def test_producer_repush_never_reorders_other_events(entries, data):
+    """Cancel + re-push of one producer's deadline leaves peers alone.
+
+    This is the engine's re-arm move: a producer whose state changed
+    cancels its own handle and registers a new deadline.  Every other
+    event must keep its exact relative order, and the re-pushed event
+    must sort behind existing events at the same (time, priority) —
+    later registration means later dispatch, deterministically.
+    """
+    queue = EventQueue()
+    pushed = [queue.push(t, EventType.PLAYER_WAKE, priority=p)
+              for t, p in entries]
+    victim = data.draw(st.sampled_from(pushed))
+    new_time = data.draw(times)
+    new_priority = data.draw(priorities)
+    queue.cancel(victim)
+    replacement = queue.push(
+        new_time, EventType.PLAYER_WAKE, priority=new_priority
+    )
+    popped = drain(queue)
+    others = [event for event in popped if event is not replacement]
+    assert others == sorted(
+        (e for e in pushed if e is not victim),
+        key=lambda e: (e.time, e.priority, e.seq),
+    )
+    # The replacement drew the highest seq, so within its equal-key
+    # group it pops last.
+    group = [e for e in popped
+             if (e.time, e.priority) == (new_time, new_priority)]
+    assert group[-1] is replacement
+
+
+@given(
+    st.lists(
+        st.one_of(
+            st.tuples(st.just("push"), times, priorities),
+            st.tuples(st.just("cancel"), st.integers(0, 400), st.just(0)),
+            st.tuples(st.just("pop"), st.just(0.0), st.just(0)),
+        ),
+        max_size=300,
+    )
+)
+@settings(max_examples=200)
+def test_compaction_bounds_heap_size_and_preserves_order(ops):
+    """Lazy cancel must not let dead entries dominate the heap.
+
+    The engine's long multi-session runs churn thousands of wakes; the
+    compaction rule keeps the backing heap within a constant factor of
+    the live count (above the small-queue threshold) without disturbing
+    pop order.
+    """
+    queue = EventQueue()
+    live: dict[int, Event] = {}
+    handles: list[Event] = []
+    for op, a, b in ops:
+        if op == "push":
+            event = queue.push(a, EventType.PLAYER_WAKE, priority=b)
+            live[event.seq] = event
+            handles.append(event)
+        elif op == "cancel" and handles:
+            target = handles[a % len(handles)]
+            queue.cancel(target)
+            live.pop(target.seq, None)
+        elif op == "pop":
+            event = queue.pop()
+            if event is not None:
+                live.pop(event.seq, None)
+        assert len(queue) == len(live)
+        assert len(queue._heap) <= max(64, 2 * len(live))
+    assert drain(queue) == sorted(
+        live.values(), key=lambda e: (e.time, e.priority, e.seq)
+    )

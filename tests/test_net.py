@@ -534,8 +534,9 @@ class TestAdvanceMany:
         batched_activity = []
         ticks = 0
         while ticks < n:
-            executed, activity = net_b.advance_many(n - ticks, 0.1)
+            executed, activity, reason = net_b.advance_many(n - ticks, 0.1)
             if executed == 0:
+                assert reason == "completion"
                 before = net_b.link.total_bytes_delivered
                 net_b.advance(0.1)
                 batched_activity.append(
@@ -567,6 +568,64 @@ class TestAdvanceMany:
                 assert (
                     conn_b.transfer.first_byte_at == conn_a.transfer.first_byte_at
                 )
+
+    def test_stop_reason_agrees_with_serial_replay(self):
+        """Property: each reported stop reason is verifiable on a twin.
+
+        The event engine trusts ``completion`` enough to dispatch the
+        next tick without re-probing, so a misreported reason is a
+        correctness bug, not a performance one.  A serially-replayed
+        twin network checks every claim: ``completion`` means the very
+        next tick finishes a transfer, ``schedule`` means the batch
+        stopped exactly at a bandwidth change point, ``horizon`` means
+        the full request was executed.
+        """
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        @settings(max_examples=60, deadline=None)
+        @given(
+            size_bytes=st.sampled_from(
+                [40_000, 250_000, 1_200_000, 5_000_000]
+            ),
+            n_conns=st.integers(1, 3),
+            chunks=st.lists(st.integers(1, 40), min_size=1, max_size=15),
+        )
+        def check(size_bytes, n_conns, chunks):
+            pair = self._session_pair(size_bytes, n_conns)
+            (clock_a, net_a, done_a), (clock_b, net_b, done_b) = pair
+            dt = 0.1
+            for chunk in chunks:
+                start = clock_b.now
+                executed, _, reason = net_b.advance_many(chunk, dt)
+                for _ in range(executed):
+                    clock_b.tick()
+                # Twin replays the same window serially.
+                for _ in range(executed):
+                    net_a.advance(dt)
+                    clock_a.tick()
+                if reason == "horizon":
+                    assert executed == chunk
+                elif reason == "schedule":
+                    change_at = net_b.schedule.next_change_at(start)
+                    assert abs(clock_b.now - change_at) < dt / 2
+                elif reason == "completion":
+                    before = len(done_a)
+                    net_a.advance(dt)
+                    clock_a.tick()
+                    net_b.advance(dt)
+                    clock_b.tick()
+                    assert len(done_a) > before
+                    assert len(done_b) == len(done_a)
+                else:  # pragma: no cover - no faults in this network
+                    raise AssertionError(f"unexpected reason {reason!r}")
+                assert clock_a.now == clock_b.now
+                assert (
+                    net_a.link.total_bytes_delivered
+                    == net_b.link.total_bytes_delivered
+                )
+
+        check()
 
 
 class TestHttpTypes:
