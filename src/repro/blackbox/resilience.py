@@ -24,6 +24,7 @@ from repro.analysis.faults import (
 from repro.core.outcome_cache import CacheSpec
 from repro.core.parallel import RunRecord, RunSpec
 from repro.core.run import aggregate_metrics, execute
+from repro.core.supervisor import FailedOutcome, JournalSpec, SweepPolicy
 from repro.net.faults import DeadAirWindow, LatencySpikeWindow
 from repro.net.http import ContentKind
 from repro.obs import MetricsSnapshot
@@ -195,6 +196,34 @@ class ResilienceReport:
         return "\n".join(lines)
 
 
+def _cell_from_failure(
+    failure: FailedOutcome, scenario: FaultScenario
+) -> ResilienceCell:
+    """A quarantined lease still gets a cell — typed, not silently lost.
+
+    ``final_state="quarantined"`` marks the cell as supervision fallout
+    (the spec kept failing or timing out under
+    :class:`~repro.core.supervisor.SweepPolicy`), with the failure kind
+    as the end reason; every measured field is zero/None because the
+    run never produced a comparable record.
+    """
+    return ResilienceCell(
+        service=failure.spec.service_name,
+        scenario=scenario.name,
+        final_state="quarantined",
+        end_reason=failure.kind,
+        startup_delay_s=None,
+        stall_count=0,
+        stall_s=0.0,
+        longest_stall_s=0.0,
+        download_failures=0,
+        downloads_given_up=0,
+        segments_skipped=0,
+        played_s=0.0,
+        total_bytes=0,
+    )
+
+
 def _cell_from_record(
     record: RunRecord, scenario: FaultScenario
 ) -> ResilienceCell:
@@ -226,6 +255,8 @@ def run_resilience_sweep(
     fast_forward: bool = True,
     engine: str = "tick",
     cache: CacheSpec = None,
+    policy: Optional[SweepPolicy] = None,
+    journal: JournalSpec = None,
 ) -> ResilienceReport:
     """Run the services x scenarios grid and distill it into a report.
 
@@ -237,6 +268,12 @@ def run_resilience_sweep(
     (sweep-fabric outcome cache) memoises cells: fault specs are frozen
     data, so a faulted outcome is as content-addressable as a clean
     one, and a re-run sweep costs disk reads.
+
+    ``policy`` / ``journal`` pass through to
+    :func:`~repro.core.run.execute` for crash-safe supervision: with a
+    journal a killed sweep resumes instead of restarting, and with
+    quarantine enabled a poison cell comes back as
+    ``final_state="quarantined"`` instead of sinking the grid.
     """
     if services is None:
         services = ALL_SERVICE_NAMES
@@ -256,12 +293,18 @@ def run_resilience_sweep(
                     engine=engine,
                 )
             )
-    outcomes = execute(specs, workers=workers, cache=cache)
+    outcomes = execute(
+        specs, workers=workers, cache=cache, policy=policy, journal=journal
+    )
     cells = []
     index = 0
     for scenario in scenarios:
         for _ in services:
-            cells.append(_cell_from_record(outcomes[index].record, scenario))
+            outcome = outcomes[index]
+            if isinstance(outcome, FailedOutcome):
+                cells.append(_cell_from_failure(outcome, scenario))
+            else:
+                cells.append(_cell_from_record(outcome.record, scenario))
             index += 1
     return ResilienceReport(
         profile_id=profile_id,

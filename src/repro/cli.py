@@ -22,7 +22,13 @@ Commands mirror the library's main entry points:
 
 ``compare`` and ``resilience`` accept ``--cache`` (memoise outcomes in
 the default cache directory) or ``--cache-dir PATH``; repeated sweeps
-then cost disk reads instead of simulation.
+then cost disk reads instead of simulation.  They also accept the
+crash-safe supervision flags: ``--resume [DIR]`` journals the sweep so
+a killed run restarts where it stopped, ``--spec-timeout S`` /
+``--max-attempts N`` / ``--quarantine`` configure the per-spec
+timeout, retry and poison-quarantine policy, and a ``sweep
+supervisor:`` summary line reports what supervision did (also merged
+into ``--metrics-json`` output as ``sweep.*`` counters).
 
 Every command executes through the unified run API
 (:mod:`repro.core.run`): a command builds :class:`RunSpec`s and hands
@@ -43,9 +49,15 @@ from repro.core.experiment import (
 from repro.core.outcome_cache import resolve_outcome_cache
 from repro.core.parallel import RunSpec
 from repro.core.run import aggregate_metrics, execute, run_one
+from repro.core.supervisor import SweepPolicy
 from repro.net.schedule import ConstantSchedule
 from repro.net.traces import cellular_profiles
 from repro.obs import TraceConfig, render_timeline
+from repro.obs.metrics import (
+    SWEEP_COUNTERS,
+    MetricsSnapshot,
+    process_registry,
+)
 from repro.services import ALL_SERVICE_NAMES, get_service
 from repro.util import mbps, to_mbps
 
@@ -95,6 +107,7 @@ def _build_parser() -> argparse.ArgumentParser:
                                 help="write aggregated sweep metrics as JSON")
     _add_engine_argument(compare_parser)
     _add_cache_arguments(compare_parser)
+    _add_supervision_arguments(compare_parser)
 
     probe_parser = commands.add_parser("probe",
                                        help="black-box probe a service")
@@ -120,6 +133,7 @@ def _build_parser() -> argparse.ArgumentParser:
                             help="write aggregated sweep metrics as JSON")
     _add_engine_argument(res_parser)
     _add_cache_arguments(res_parser)
+    _add_supervision_arguments(res_parser)
 
     cache_parser = commands.add_parser(
         "cache", help="manage the content-addressed outcome cache")
@@ -148,11 +162,69 @@ def _add_cache_arguments(parser) -> None:
                         help="memoise outcomes under PATH (implies --cache)")
 
 
+def _add_supervision_arguments(parser) -> None:
+    parser.add_argument("--resume", nargs="?", const=True, default=None,
+                        metavar="DIR",
+                        help="journal the sweep and skip leases it already "
+                             "completed (a killed sweep picks up where it "
+                             "stopped); the journal dir is derived from "
+                             "the sweep under the cache dir, or pass DIR "
+                             "to pin it")
+    parser.add_argument("--spec-timeout", type=float, default=None,
+                        metavar="S",
+                        help="per-spec wall-clock timeout in seconds "
+                             "(parallel sweeps only)")
+    parser.add_argument("--max-attempts", type=int, default=None,
+                        metavar="N",
+                        help="tries per spec before giving up (default 1)")
+    parser.add_argument("--quarantine", action="store_true",
+                        help="record specs that exhaust their attempts as "
+                             "typed failures instead of aborting the sweep")
+
+
 def _cache_for(args):
     """Resolve the shared --cache/--cache-dir pair to a cache spec."""
     if args.cache_dir:
         return args.cache_dir
     return True if args.cache else None
+
+
+def _policy_for(args):
+    """Resolve supervision flags to a SweepPolicy (None = defaults)."""
+    if (args.spec_timeout is None and args.max_attempts is None
+            and not args.quarantine):
+        return None
+    return SweepPolicy(
+        timeout_s=args.spec_timeout,
+        max_attempts=args.max_attempts if args.max_attempts else 1,
+        quarantine=args.quarantine,
+    )
+
+
+def _sample_sweep_counters() -> dict[str, float]:
+    snapshot = process_registry().snapshot()
+    return {name: snapshot.total(name) for name in SWEEP_COUNTERS}
+
+
+def _sweep_counter_delta(before: dict[str, float]) -> MetricsSnapshot:
+    """What supervision did during this command, as a snapshot.
+
+    Sweep counters live in the process registry (they are process
+    history, not run output); the CLI differences them around the sweep
+    so the summary and ``--metrics-json`` describe this command only.
+    """
+    after = _sample_sweep_counters()
+    return MetricsSnapshot(counters=tuple(sorted(
+        (name, (), after[name] - before[name]) for name in SWEEP_COUNTERS
+    )))
+
+
+def _print_sweep_summary(delta: MetricsSnapshot) -> None:
+    parts = " ".join(
+        f"{name.split('.', 1)[1]}={value:.0f}"
+        for name, _, value in delta.counters
+    )
+    print(f"\nsweep supervisor: {parts}")
 
 
 def _schedule_for(args):
@@ -241,6 +313,9 @@ def _cmd_compare(args) -> int:
     profiles = cellular_profiles(int(args.duration))
     selected = [profiles[pid - 1] for pid in profile_ids]
     cache = resolve_outcome_cache(_cache_for(args))
+    policy = _policy_for(args)
+    supervised = policy is not None or args.resume is not None
+    before = _sample_sweep_counters()
     summaries = []
     all_outcomes = []
     for name in args.services:
@@ -248,13 +323,31 @@ def _cmd_compare(args) -> int:
             name, selected, duration_s=args.duration,
             fast_forward=args.fast_forward, engine=args.engine,
         )
-        outcomes = execute(specs, workers=args.workers, cache=cache)
+        outcomes = execute(
+            specs, workers=args.workers, cache=cache,
+            policy=policy, journal=args.resume,
+        )
         all_outcomes.extend(outcomes)
-        runs = [ProfileRun.from_outcome(outcome) for outcome in outcomes]
+        quarantined = [o for o in outcomes if o.record is None]
+        if quarantined:
+            print(f"warning: {name}: {len(quarantined)} spec(s) "
+                  f"quarantined, excluded from the comparison",
+                  file=sys.stderr)
+        runs = [
+            ProfileRun.from_outcome(outcome)
+            for outcome in outcomes
+            if outcome.record is not None
+        ]
         summaries.append(summarize_runs(runs))
     print(render_comparison(summaries))
+    delta = _sweep_counter_delta(before)
+    if supervised or args.workers > 0:
+        _print_sweep_summary(delta)
     if args.metrics_json:
-        aggregate_metrics(all_outcomes).write_json(args.metrics_json)
+        merged = MetricsSnapshot.merge(
+            [aggregate_metrics(all_outcomes), delta]
+        )
+        merged.write_json(args.metrics_json)
         print(f"\nwrote {args.metrics_json}")
     return 0
 
@@ -304,6 +397,9 @@ def _cmd_resilience(args) -> int:
                 f"available: {', '.join(by_name)}"
             )
         scenarios = tuple(by_name[name] for name in wanted)
+    policy = _policy_for(args)
+    supervised = policy is not None or args.resume is not None
+    before = _sample_sweep_counters()
     report = run_resilience_sweep(
         args.services,
         scenarios,
@@ -313,14 +409,20 @@ def _cmd_resilience(args) -> int:
         fast_forward=not args.no_fast_forward,
         engine=args.engine,
         cache=_cache_for(args),
+        policy=policy,
+        journal=args.resume,
     )
     print(report.render())
+    delta = _sweep_counter_delta(before)
+    if supervised or args.workers > 0:
+        _print_sweep_summary(delta)
     if args.json:
         with open(args.json, "w") as handle:
             json.dump(report.to_json(), handle, indent=2)
         print(f"\nwrote {args.json}")
     if args.metrics_json:
-        report.metrics.write_json(args.metrics_json)
+        merged = MetricsSnapshot.merge([report.metrics, delta])
+        merged.write_json(args.metrics_json)
         print(f"\nwrote {args.metrics_json}")
     return 0
 

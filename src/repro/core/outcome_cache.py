@@ -119,15 +119,20 @@ def _canonical_token(obj) -> object:
     )
 
 
-def canonical_spec(spec: "RunSpec") -> "RunSpec":
+def canonical_spec(spec: "RunSpec", *, check_sinks: bool = True) -> "RunSpec":
     """Resolve every lazily-defaulted field to its effective value.
 
     Two specs that *execute identically* must canonicalize identically:
     the seed default, the (profile, trace) -> schedule resolution chain,
     the content-duration fallback and the transfer-fast-forward
     follow-the-flag default are all collapsed here.
+
+    ``check_sinks=False`` skips the file-backed-trace-sink refusal:
+    the sweep journal (:mod:`repro.core.supervisor`) uses it because a
+    journaled completion means the run — side effects included —
+    already happened, so replaying it skips nothing.
     """
-    if spec.tracing is not None and spec.tracing.sink != "ring":
+    if check_sinks and spec.tracing is not None and spec.tracing.sink != "ring":
         raise UncacheableSpec(
             "file-backed trace sinks are side effects a cache hit would "
             "skip; run with sink='ring' or disable the outcome cache"
@@ -148,16 +153,36 @@ def canonical_spec(spec: "RunSpec") -> "RunSpec":
     )
 
 
+def _digest_spec(spec: "RunSpec", *, check_sinks: bool) -> str:
+    """Shared SHA-256 helper behind :func:`spec_key` and :func:`lease_key`."""
+    token = _canonical_token(canonical_spec(spec, check_sinks=check_sinks))
+    digest = hashlib.sha256()
+    digest.update(repr(token).encode("utf-8"))
+    return digest.hexdigest()
+
+
 def spec_key(spec: "RunSpec") -> str:
     """The content address of a spec's outcome (hex SHA-256).
 
     Raises :class:`UncacheableSpec` when the spec cannot be
     fingerprinted; callers treat those as cache bypasses.
     """
-    token = _canonical_token(canonical_spec(spec))
-    digest = hashlib.sha256()
-    digest.update(repr(token).encode("utf-8"))
-    return digest.hexdigest()
+    return _digest_spec(spec, check_sinks=True)
+
+
+def lease_key(spec: "RunSpec") -> Optional[str]:
+    """The idempotent lease identity of a spec for the sweep supervisor.
+
+    The same canonical SHA-256 as :func:`spec_key`, except that specs
+    with file-backed trace sinks *are* leasable — a journal replays
+    completed work, it never skips side effects that did not happen.
+    Specs whose values cannot be canonicalized at all return ``None``
+    and are simply never leased or journaled (always re-run).
+    """
+    try:
+        return _digest_spec(spec, check_sinks=False)
+    except UncacheableSpec:
+        return None
 
 
 @lru_cache(maxsize=1)
@@ -240,19 +265,25 @@ class OutcomeCache:
 
     # -- read / write ------------------------------------------------------
 
-    def get(self, spec: "RunSpec") -> Optional["RunOutcome"]:
+    def get(
+        self, spec: "RunSpec", *, key: Optional[str] = None
+    ) -> Optional["RunOutcome"]:
         """The memoised outcome for ``spec``, or ``None`` on miss.
 
-        Corrupt or mismatched entries are unlinked and counted as
-        invalidations; an uncacheable spec is a plain miss.
+        Corrupt or mismatched entries are unlinked (counted as
+        invalidations and ``cache.corrupt_unlinks``); an uncacheable
+        spec is a plain miss.  ``key`` substitutes a precomputed
+        address (the sweep journal passes :func:`lease_key` so even
+        side-effecting specs round-trip).
         """
         from repro.core.run import RunOutcome
 
-        try:
-            key = spec_key(spec)
-        except UncacheableSpec:
-            self._miss()
-            return None
+        if key is None:
+            try:
+                key = spec_key(spec)
+            except UncacheableSpec:
+                self._miss()
+                return None
         path = self._entry_path(key)
         try:
             with open(path, "rb") as handle:
@@ -279,6 +310,7 @@ class OutcomeCache:
             # costing a failed load on every lookup.
             self.invalidations += 1
             self._registry.counter("outcome_cache.invalidations").inc()
+            self._registry.counter("cache.corrupt_unlinks").inc()
             path.unlink(missing_ok=True)
             self._miss()
             return None
@@ -286,12 +318,19 @@ class OutcomeCache:
         self._registry.counter("outcome_cache.hits").inc()
         return outcome
 
-    def put(self, spec: "RunSpec", outcome: "RunOutcome") -> bool:
+    def put(
+        self,
+        spec: "RunSpec",
+        outcome: "RunOutcome",
+        *,
+        key: Optional[str] = None,
+    ) -> bool:
         """Store an outcome's comparable payload; False if uncacheable."""
-        try:
-            key = spec_key(spec)
-        except UncacheableSpec:
-            return False
+        if key is None:
+            try:
+                key = spec_key(spec)
+            except UncacheableSpec:
+                return False
         path = self._entry_path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         entry = {
@@ -388,6 +427,7 @@ class OutcomeCache:
                 corrupt += 1
                 self.invalidations += 1
                 self._registry.counter("outcome_cache.invalidations").inc()
+                self._registry.counter("cache.corrupt_unlinks").inc()
                 path.unlink(missing_ok=True)
         return VerifyReport(ok=ok, corrupt=corrupt, stale=stale)
 

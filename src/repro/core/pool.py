@@ -37,7 +37,7 @@ workers=0 == workers=N snapshot equivalence.
 from __future__ import annotations
 
 import threading
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import Future, ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Iterable, Optional, Sequence, TypeVar, Union
 
@@ -80,18 +80,44 @@ class WorkerPool:
         self._closed = False
         self.map_calls = 0
         self.tasks_dispatched = 0
-        self._executor = ProcessPoolExecutor(
-            max_workers=workers,
+        self.tasks_failed = 0
+        self.respawns = 0
+        self._executor = self._spawn_executor()
+
+    def _spawn_executor(self) -> ProcessPoolExecutor:
+        executor = ProcessPoolExecutor(
+            max_workers=self.workers,
             initializer=_warm_worker,
             initargs=(self.warm_keys,),
         )
         registry = process_registry()
         registry.counter("pool.spawns").inc()
-        registry.gauge("pool.workers").set(workers)
+        registry.gauge("pool.workers").set(self.workers)
+        return executor
 
     @property
     def closed(self) -> bool:
         return self._closed
+
+    def submit(self, fn: Callable[[T], R], item: T) -> Future:
+        """Submit one task; counted only when submission succeeds.
+
+        The future-per-task entry point the sweep supervisor dispatches
+        through: unlike :meth:`map`, a task exception is delivered on
+        the future, and a broken pool leaves this object alive so
+        :meth:`respawn` can revive it in place.
+        """
+        if self._closed:
+            raise RuntimeError("WorkerPool is closed")
+        future = self._executor.submit(fn, item)
+        self.tasks_dispatched += 1
+        process_registry().counter("pool.tasks_dispatched").inc()
+        return future
+
+    def note_task_failure(self) -> None:
+        """Record one task that raised (the pool itself stays healthy)."""
+        self.tasks_failed += 1
+        process_registry().counter("pool.tasks_failed").inc()
 
     def map(
         self,
@@ -104,21 +130,65 @@ class WorkerPool:
 
         A task exception propagates to the caller but leaves the pool
         alive; a broken pool (worker process death) closes the pool so
-        the next :func:`worker_pool` call starts a fresh one.
+        the next :func:`worker_pool` call starts a fresh one.  Tasks are
+        counted only once actually handed to the executor — a map that
+        dies at submission reports zero dispatches, not the full batch.
         """
         if self._closed:
             raise RuntimeError("WorkerPool is closed")
         items = list(items)
         self.map_calls += 1
-        self.tasks_dispatched += len(items)
         registry = process_registry()
         registry.counter("pool.map_calls").inc()
-        registry.counter("pool.tasks_dispatched").inc(len(items))
         try:
-            return list(self._executor.map(fn, items, chunksize=chunksize))
+            # Executor.map submits every item eagerly inside the call;
+            # once it returns, the batch really was dispatched.
+            results = self._executor.map(fn, items, chunksize=chunksize)
         except BrokenProcessPool:
             self.close()
             raise
+        self.tasks_dispatched += len(items)
+        registry.counter("pool.tasks_dispatched").inc(len(items))
+        try:
+            return list(results)
+        except BrokenProcessPool:
+            self.close()
+            raise
+        except BaseException:
+            self.note_task_failure()
+            raise
+
+    def respawn(self, *, kill_workers: bool = False) -> None:
+        """Replace the executor with a fresh one, in place.
+
+        The supervisor's recovery path after a worker death or a hung
+        (timed-out) task: the pool object — and every counter on it —
+        survives, only the process fan-out is rebuilt.
+        ``kill_workers=True`` terminates lingering worker processes
+        (a hung task would otherwise keep its process alive until the
+        task returns on its own).
+        """
+        if self._closed:
+            raise RuntimeError("WorkerPool is closed")
+        old = self._executor
+        # Snapshot the worker processes BEFORE shutdown: the executor
+        # nulls its process table inside shutdown(wait=False), and a
+        # hung worker that outlives it would pin the executor's
+        # management thread (and interpreter exit) forever.
+        processes = list((getattr(old, "_processes", None) or {}).values())
+        try:
+            old.shutdown(wait=False, cancel_futures=True)
+        except Exception:
+            pass
+        if kill_workers:
+            for process in processes:
+                try:
+                    process.kill()
+                except Exception:
+                    pass
+        self.respawns += 1
+        process_registry().counter("pool.respawns").inc()
+        self._executor = self._spawn_executor()
 
     def close(self) -> None:
         """Shut the executor down; idempotent."""
@@ -154,11 +224,17 @@ def worker_pool(
 
 
 def active_worker_pool() -> Optional[WorkerPool]:
-    """The currently alive process-wide pool, if any (introspection)."""
-    pool = _ACTIVE_POOL
-    if pool is not None and pool.closed:
-        return None
-    return pool
+    """The currently alive process-wide pool, if any (introspection).
+
+    Takes the pool lock like its siblings: without it a concurrent
+    ``close_worker_pool()`` could hand back a pool that is mid-close —
+    observed alive here, closed by the time the caller submits to it.
+    """
+    with _POOL_LOCK:
+        pool = _ACTIVE_POOL
+        if pool is not None and pool.closed:
+            return None
+        return pool
 
 
 def close_worker_pool() -> None:

@@ -19,17 +19,20 @@ returns, in spec order.
 ``execute`` is also the seat of the **sweep fabric** (PR 5): parallel
 sweeps run on the persistent worker pool (:mod:`repro.core.pool`),
 specs are grouped by :func:`~repro.core.parallel.catalogue_key` and
-chunked so each worker encodes each catalogue at most once, and
-``cache=`` memoises whole outcomes through the content-addressed
-:mod:`repro.core.outcome_cache`.  None of the three layers changes any
-comparable outcome: cold pool, warm pool, cache hit and ``workers=0``
-all compare ``==``.
+submitted catalogue-locality first, and ``cache=`` memoises whole
+outcomes through the content-addressed :mod:`repro.core.outcome_cache`.
+Parallel dispatch itself is owned by the crash-safe
+:class:`~repro.core.supervisor.SweepSupervisor` (PR 8): future-per-task
+leases with per-spec timeout, capped retries, poison quarantine,
+``BrokenProcessPool`` salvage and a resumable sweep journal
+(``policy=`` / ``journal=``).  None of these layers changes any
+comparable outcome: cold pool, warm pool, cache hit, resumed journal
+and ``workers=0`` all compare ``==``.
 """
 
 from __future__ import annotations
 
 import math
-import os
 from collections import OrderedDict
 from dataclasses import dataclass, field, replace
 from typing import Optional, Sequence, Union
@@ -42,9 +45,14 @@ from repro.core.parallel import (
     catalogue_key,
     record_from_result,
 )
-from repro.core.pool import worker_pool
 from repro.core.session import SessionResult
-from repro.media.cache import asset_cache
+from repro.core.supervisor import (
+    FailedOutcome,
+    JournalSpec,
+    SweepPolicy,
+    SweepSupervisor,
+    resolve_sweep_journal,
+)
 from repro.obs import (
     MetricsSnapshot,
     Observability,
@@ -128,20 +136,6 @@ def run_one(
     )
 
 
-def _outcome_chunk_task(
-    args: tuple[tuple[RunSpec, ...], bool],
-) -> tuple[list[RunOutcome], int, int, int]:
-    """Run one locality chunk in a worker; report the worker's asset
-    cache activity (since its initializer baseline) so the parent can
-    account encodes per worker."""
-    specs, profile = args
-    outcomes = [
-        run_one(spec, profile=profile, keep_result=False) for spec in specs
-    ]
-    misses, hits = asset_cache().since_baseline()
-    return outcomes, os.getpid(), misses, hits
-
-
 def _plan_chunks(
     specs: Sequence[RunSpec],
     workers: int,
@@ -181,17 +175,18 @@ def _plan_chunks(
 
 
 def _record_worker_encode_stats(
-    results: Sequence[tuple[list[RunOutcome], int, int, int]],
+    reports: Sequence[tuple[int, int, int]],
 ) -> None:
     """Publish per-worker asset-cache totals as process-level gauges.
 
+    ``reports`` holds ``(pid, misses, hits)`` per delivered lease.
     Worker cache counters are monotone per process, so the max across
-    chunk reports is the worker's lifetime total; benchmarks difference
+    lease reports is the worker's lifetime total; benchmarks difference
     these gauges around a sweep to count encodes it caused.
     """
     registry = process_registry()
     per_pid: dict[int, tuple[int, int]] = {}
-    for _, pid, misses, hits in results:
+    for pid, misses, hits in reports:
         prev_misses, prev_hits = per_pid.get(pid, (0, 0))
         per_pid[pid] = (max(prev_misses, misses), max(prev_hits, hits))
     for pid, (misses, hits) in per_pid.items():
@@ -208,23 +203,36 @@ def execute(
     keep_results: bool = False,
     chunksize: Optional[int] = None,
     cache: CacheSpec = None,
-) -> list[RunOutcome]:
+    policy: Optional[SweepPolicy] = None,
+    journal: JournalSpec = None,
+) -> list[Union[RunOutcome, FailedOutcome]]:
     """Execute a batch of specs, serially or over worker processes.
 
     The single sweep entry point: ``workers=0`` runs in process (and may
     keep live results); ``workers=N`` fans out over the persistent
-    worker pool.  The comparable parts of the outcomes are identical
-    either way, in spec order.  ``tracer`` applies to every spec that
-    does not already carry its own ``tracing`` config.
+    worker pool through the crash-safe sweep supervisor.  The
+    comparable parts of the outcomes are identical either way, in spec
+    order.  ``tracer`` applies to every spec that does not already
+    carry its own ``tracing`` config.
 
-    ``chunksize=None`` (the default) plans chunks by catalogue
-    locality so each worker encodes each (service, duration, seed)
-    catalogue at most once; an explicit integer restores flat
-    chunking.  ``cache`` memoises comparable outcomes on disk —
+    ``chunksize=None`` (the default) plans worker submission order by
+    catalogue locality so each worker encodes each (service, duration,
+    seed) catalogue at most once; an explicit integer restores flat
+    ordering.  ``cache`` memoises comparable outcomes on disk —
     ``True`` for the default directory, a path, or an
     :class:`~repro.core.outcome_cache.OutcomeCache`; only cache misses
     are executed, and hits reconstruct outcomes that compare ``==`` to
     freshly computed ones.
+
+    ``policy`` supplies the supervision knobs (per-spec timeout,
+    retries with seeded backoff, poison quarantine — a quarantined spec
+    yields a typed :class:`~repro.core.supervisor.FailedOutcome` in its
+    slot instead of raising).  ``journal`` makes the sweep resumable:
+    ``True`` derives a journal directory from the sweep's identity
+    under the cache dir, or pass a path / live
+    :class:`~repro.core.supervisor.SweepJournal`; leases the journal
+    marks complete are skipped — even uncacheable ones — so a killed
+    sweep picks up where it stopped.
     """
     if workers < 0:
         raise ValueError(f"workers must be >= 0, got {workers}")
@@ -239,35 +247,51 @@ def execute(
             "keep_results needs cache=None: the outcome cache stores "
             "only comparable payloads, never live session graphs"
         )
+    if keep_results and (policy is not None or journal is not None):
+        raise ValueError(
+            "keep_results needs policy=None and journal=None: supervised "
+            "runs produce only picklable, comparable payloads"
+        )
     specs = [_resolve_tracing(spec, tracer) for spec in specs]
-    outcomes: list[Optional[RunOutcome]] = [None] * len(specs)
+    supervised = policy is not None or journal is not None
+    outcomes: list[Optional[Union[RunOutcome, FailedOutcome]]] = (
+        [None] * len(specs)
+    )
     pending = list(range(len(specs)))
     if store is not None:
         for index in pending:
             outcomes[index] = store.get(specs[index])
         pending = [index for index in pending if outcomes[index] is None]
-    if workers == 0 or len(pending) <= 1:
+    if not supervised and (workers == 0 or len(pending) <= 1):
+        # The byte-identity oracle path: plain in-process loop.
         for index in pending:
             outcomes[index] = run_one(
                 specs[index], profile=profile, keep_result=keep_results
             )
-    else:
-        chunks = _plan_chunks([specs[i] for i in pending], workers, chunksize)
-        pool = worker_pool(workers)
-        chunk_results = pool.map(
-            _outcome_chunk_task,
-            [
-                (tuple(specs[pending[i]] for i in chunk), profile)
-                for chunk in chunks
-            ],
+    elif pending:
+        pending_specs = [specs[i] for i in pending]
+        serial = workers == 0 or len(pending) <= 1
+        order = None
+        if not serial:
+            chunks = _plan_chunks(pending_specs, workers, chunksize)
+            order = [i for chunk in chunks for i in chunk]
+        supervisor = SweepSupervisor(
+            0 if serial else workers,
+            policy=policy,
+            journal=resolve_sweep_journal(journal, specs),
         )
-        for chunk, (chunk_outcomes, _, _, _) in zip(chunks, chunk_results):
-            for local_index, outcome in zip(chunk, chunk_outcomes):
-                outcomes[pending[local_index]] = outcome
-        _record_worker_encode_stats(chunk_results)
+        supervised_outcomes = supervisor.run(
+            pending_specs, profile=profile, order=order
+        )
+        for local_index, outcome in enumerate(supervised_outcomes):
+            outcomes[pending[local_index]] = outcome
+        if supervisor.encode_reports:
+            _record_worker_encode_stats(supervisor.encode_reports)
     if store is not None:
         for index in pending:
-            store.put(specs[index], outcomes[index])
+            outcome = outcomes[index]
+            if outcome is not None and outcome.record is not None:
+                store.put(specs[index], outcome)
     return outcomes
 
 

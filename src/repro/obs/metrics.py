@@ -241,6 +241,19 @@ EMPTY_SNAPSHOT = MetricsSnapshot()
 # while leaving different process-level traces (one hit caches, one
 # did not).
 
+#: The sweep-supervision counters (:mod:`repro.core.supervisor`) that
+#: land in the process registry.  The CLI differences these around a
+#: sweep to print its supervision summary and to merge robustness
+#: telemetry into ``--metrics-json`` output.
+SWEEP_COUNTERS = (
+    "sweep.retries",
+    "sweep.timeouts",
+    "sweep.quarantined",
+    "sweep.pool_respawns",
+    "sweep.resumed_skips",
+    "sweep.serial_degradations",
+)
+
 _PROCESS_REGISTRY = MetricsRegistry()
 
 

@@ -229,6 +229,39 @@ def test_corrupted_and_truncated_entries_are_misses(tmp_path):
     assert cache.get(spec) == outcome
 
 
+def test_corrupt_unlinks_count_in_process_registry(tmp_path):
+    registry = process_registry()
+    before = registry.counter("cache.corrupt_unlinks").value
+    cache = OutcomeCache(tmp_path)
+    spec = _spec()
+    outcome = run_one(spec, keep_result=False)
+    cache.put(spec, outcome)
+    path = cache._entry_path(spec_key(spec))
+    path.write_bytes(b"junk")
+    assert cache.get(spec) is None  # corrupt read unlinks the entry
+    assert registry.counter("cache.corrupt_unlinks").value == before + 1
+    (tmp_path / cache.fingerprint / "feedface.pkl").write_bytes(b"junk")
+    cache.verify()  # verify unlinks corrupt entries too
+    assert registry.counter("cache.corrupt_unlinks").value == before + 2
+
+
+def test_lease_key_tolerates_side_effecting_sinks(tmp_path):
+    from repro.core.outcome_cache import lease_key
+
+    plain = _spec()
+    assert lease_key(plain) == spec_key(plain)
+    sink = _spec(tracing=TraceConfig(sink="jsonl", path="/tmp/t.jsonl"))
+    with pytest.raises(UncacheableSpec):
+        spec_key(sink)  # the shared cache still refuses side effects
+    key = lease_key(sink)  # ...but the journal can address the lease
+    assert key is not None and len(key) == 64
+    # Explicit keys let the journal store round-trip such outcomes.
+    cache = OutcomeCache(tmp_path)
+    outcome = run_one(plain, keep_result=False)
+    assert cache.put(plain, outcome, key=key) is True
+    assert cache.get(plain, key=key) == outcome
+
+
 def test_verify_counts_and_removes_corrupt_entries(tmp_path):
     cache = OutcomeCache(tmp_path)
     execute(
@@ -282,6 +315,18 @@ def test_cli_cache_stats_clear_verify(tmp_path, capsys):
     assert main(["cache", "clear", "--cache-dir", cache_dir]) == 0
     out = capsys.readouterr().out
     assert "removed 1" in out
+
+
+def test_cli_cache_verify_exits_nonzero_on_corruption(tmp_path, capsys):
+    cache_dir = tmp_path / "cli-cache"
+    cache = OutcomeCache(cache_dir)
+    cache.put(_spec(), run_one(_spec(), keep_result=False))
+    (cache_dir / cache.fingerprint / "deadbeef.pkl").write_bytes(b"junk")
+    assert main(["cache", "verify", "--cache-dir", str(cache_dir)]) == 1
+    out = capsys.readouterr().out
+    assert "corrupt : 1" in out
+    # The corrupt entry was removed; a re-verify is clean again.
+    assert main(["cache", "verify", "--cache-dir", str(cache_dir)]) == 0
 
 
 def test_cli_compare_cache_hits_on_second_run(tmp_path, capsys):

@@ -12,8 +12,11 @@ duplicate an expensive encode.
 
 from __future__ import annotations
 
+import os
+import signal
 import threading
 import time
+from concurrent.futures.process import BrokenProcessPool
 
 import pytest
 
@@ -52,6 +55,10 @@ def _square(x):
 
 def _boom(x):
     raise RuntimeError(f"worker task failed on {x}")
+
+
+def _suicide(x):
+    os.kill(os.getpid(), signal.SIGKILL)
 
 
 def _encode_delta(args):
@@ -130,6 +137,88 @@ def test_warm_keys_pre_encode_catalogues_in_workers():
         assert pool.map(_encode_delta, [("H1", 23.0, 7708)]) == [1]
     finally:
         pool.close()
+
+
+# ---------------------------------------------------------------------------
+# Future-per-task submit, failure accounting, respawn
+# ---------------------------------------------------------------------------
+
+
+class _BrokenAtSubmitExecutor:
+    """Stub executor whose every dispatch reports a dead pool."""
+
+    def map(self, fn, items, chunksize=1):
+        raise BrokenProcessPool("stub: pool is dead")
+
+    def submit(self, fn, item):
+        raise BrokenProcessPool("stub: pool is dead")
+
+    def shutdown(self, wait=True, cancel_futures=False):
+        pass
+
+
+def test_submit_returns_future_and_counts_dispatch():
+    pool = worker_pool(1)
+    before = process_registry().counter("pool.tasks_dispatched").value
+    future = pool.submit(_square, 7)
+    assert future.result(timeout=30) == 49
+    assert pool.tasks_dispatched == 1
+    assert process_registry().counter("pool.tasks_dispatched").value == (
+        before + 1
+    )
+    pool.close()
+    with pytest.raises(RuntimeError, match="closed"):
+        pool.submit(_square, 1)
+
+
+def test_submit_delivers_task_exception_on_future_pool_stays_alive():
+    pool = worker_pool(1)
+    future = pool.submit(_boom, 3)
+    with pytest.raises(RuntimeError, match="worker task failed"):
+        future.result(timeout=30)
+    assert not pool.closed
+    assert pool.submit(_square, 3).result(timeout=30) == 9
+
+
+def test_note_task_failure_counts_in_process_registry():
+    pool = worker_pool(1)
+    before = process_registry().counter("pool.tasks_failed").value
+    pool.note_task_failure()
+    pool.note_task_failure()
+    assert pool.tasks_failed == 2
+    assert process_registry().counter("pool.tasks_failed").value == before + 2
+
+
+def test_map_that_dies_at_submission_reports_zero_dispatches():
+    # The counter-skew fix: tasks are counted only once actually handed
+    # to the executor, so a map that breaks at submit time must not
+    # report the full batch as dispatched.
+    pool = WorkerPool(1)
+    pool._executor.shutdown(wait=True, cancel_futures=True)
+    pool._executor = _BrokenAtSubmitExecutor()
+    with pytest.raises(BrokenProcessPool):
+        pool.map(_square, [1, 2, 3])
+    assert pool.tasks_dispatched == 0
+    assert pool.map_calls == 1
+    assert pool.closed  # a broken pool is discarded
+
+
+def test_respawn_revives_pool_after_worker_death():
+    pool = worker_pool(1)
+    before = process_registry().counter("pool.respawns").value
+    future = pool.submit(_suicide, 0)
+    with pytest.raises(BrokenProcessPool):
+        future.result(timeout=30)
+    # The executor is broken, but the pool object survives respawn.
+    pool.respawn()
+    assert not pool.closed
+    assert pool.respawns == 1
+    assert process_registry().counter("pool.respawns").value == before + 1
+    assert pool.submit(_square, 6).result(timeout=30) == 36
+    assert active_worker_pool() is pool  # same process-wide identity
+    pool.close()
+    with pytest.raises(RuntimeError, match="closed"):
+        pool.respawn()
 
 
 # ---------------------------------------------------------------------------
