@@ -7,7 +7,7 @@ aggressive client (D3) starves a conservative one (D2) on the same
 bottleneck.
 """
 
-from repro.core.multi import run_shared_link
+from repro.core.fleet import FleetSpec, run_fleet
 from repro.net.schedule import ConstantSchedule
 from repro.util import mbps
 
@@ -23,10 +23,12 @@ SCENARIOS = {
 
 def _run_scenarios(engine: str):
     return {
-        label: run_shared_link(
-            names, ConstantSchedule(mbps(rate)), duration_s=300.0,
-            engine=engine,
-        )
+        label: list(run_fleet(
+            FleetSpec(services=tuple(names),
+                      schedule=ConstantSchedule(mbps(rate)),
+                      duration_s=300.0, engine=engine),
+            keep_results=True,
+        ).results)
         for label, (names, rate) in SCENARIOS.items()
     }
 

@@ -93,16 +93,18 @@ MULTI_DURATION_S = 180.0
 
 
 def _run_multi(engine):
-    from repro.core.multi import run_shared_link
+    from repro.core.fleet import FleetSpec, run_fleet
     from repro.net.schedule import StepSchedule
 
     schedule = StepSchedule.single_step(8_000_000, 1_500_000, 60.0)
     start = time.perf_counter()
     results = [
-        run_shared_link(
-            list(combo), schedule, duration_s=MULTI_DURATION_S,
-            content_duration_s=90.0, engine=engine,
-        )
+        list(run_fleet(
+            FleetSpec(services=tuple(combo), schedule=schedule,
+                      duration_s=MULTI_DURATION_S,
+                      content_duration_s=90.0, engine=engine),
+            keep_results=True,
+        ).results)
         for combo in MULTI_COMBOS
     ]
     return results, time.perf_counter() - start

@@ -13,7 +13,7 @@ Run:
 import sys
 
 from repro.analysis.timelines import extract_timelines
-from repro.core.multi import run_shared_link
+from repro.core.fleet import FleetSpec, run_fleet
 from repro.net.schedule import ConstantSchedule
 from repro.util import mbps
 
@@ -26,9 +26,10 @@ def main() -> None:
 
     print(f"{service_a} and {service_b} sharing a {rate:.0f} Mbps link "
           f"for {duration:.0f} s\n")
-    results = run_shared_link([service_a, service_b],
-                              ConstantSchedule(mbps(rate)),
-                              duration_s=duration)
+    spec = FleetSpec(services=(service_a, service_b),
+                     schedule=ConstantSchedule(mbps(rate)),
+                     duration_s=duration)
+    results = run_fleet(spec, keep_results=True).results
 
     header = (f"{'client':8} {'bitrate Mbps':>12} {'stall s':>8} "
               f"{'startup s':>10} {'MB':>7}")

@@ -39,6 +39,7 @@ from repro.core.session import (
     SessionResult,
 )
 from repro.core.events import EventDrivenSession
+from repro.core.fleet import FleetOutcome, FleetSpec, run_fleet
 from repro.core.experiment import summarize_runs
 from repro.core.parallel import RunSpec
 from repro.core.run import RunOutcome, aggregate_metrics, execute, run_one
@@ -58,6 +59,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     "EventDrivenSession",
+    "FleetOutcome",
+    "FleetSpec",
     "ResultFieldMissing",
     "RunOutcome",
     "RunSpec",
@@ -65,6 +68,7 @@ __all__ = [
     "SessionResult",
     "aggregate_metrics",
     "execute",
+    "run_fleet",
     "run_one",
     "summarize_runs",
     "cellular_profiles",

@@ -15,6 +15,11 @@ Commands mirror the library's main entry points:
   [--duration S] [--workers N] [--no-fast-forward] [--json PATH]
   [--metrics-json PATH]`` — the services x fault-scenarios sweep
   (stalls, failures, give-ups);
+* ``fleet [SERVICES...] [--clients N] [--profile N | --cell-mbps M]
+  [--duration S] [--arrival-rate R --mean-dwell S] [--engine E]
+  [--json PATH]`` — N clients sharing one cell with optional Poisson
+  churn; prints the population QoE distribution (startup/stall/bitrate
+  percentiles, Jain fairness, per-service rows);
 * ``cache stats|clear|verify [--cache-dir PATH]`` — inspect or manage
   the content-addressed outcome cache the sweep commands share;
 * ``services`` — list the modelled services and their designs;
@@ -46,10 +51,16 @@ from repro.core.experiment import (
     profile_sweep_specs,
     summarize_runs,
 )
+from repro.core.fleet import (
+    DEFAULT_DEVICE,
+    DEVICE_CLASSES,
+    FleetSpec,
+    get_device_class,
+)
 from repro.core.outcome_cache import resolve_outcome_cache
 from repro.core.parallel import RunSpec
 from repro.core.run import aggregate_metrics, execute, run_one
-from repro.core.supervisor import SweepPolicy
+from repro.core.supervisor import FailedOutcome, SweepPolicy
 from repro.net.schedule import ConstantSchedule
 from repro.net.traces import cellular_profiles
 from repro.obs import TraceConfig, render_timeline
@@ -135,6 +146,46 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_cache_arguments(res_parser)
     _add_supervision_arguments(res_parser)
 
+    fleet_parser = commands.add_parser(
+        "fleet", help="simulate a fleet of clients sharing one cell")
+    fleet_parser.add_argument("services", nargs="*", default=["H1", "D1"],
+                              help="service pool (weighted draw when "
+                                   "--clients is given; one client per "
+                                   "entry otherwise)")
+    fleet_parser.add_argument("--clients", type=int, default=None,
+                              help="population size (draws services from "
+                                   "the pool); omit for one client per "
+                                   "listed service")
+    fleet_parser.add_argument("--service-weights", default=None,
+                              help="comma-separated draw weights, one per "
+                                   "service")
+    fleet_parser.add_argument("--devices", default=None,
+                              help="comma-separated device classes "
+                                   f"({', '.join(DEVICE_CLASSES)})")
+    fleet_parser.add_argument("--profile", type=int, default=None,
+                              help="cellular profile id (1-14)")
+    fleet_parser.add_argument("--cell-mbps", type=float, default=None,
+                              help="constant cell capacity in Mbps")
+    fleet_parser.add_argument("--duration", type=float, default=120.0)
+    fleet_parser.add_argument("--content-duration", type=float, default=None,
+                              help="title length in seconds "
+                                   "(default: --duration)")
+    fleet_parser.add_argument("--arrival-rate", type=float, default=None,
+                              metavar="PER_S",
+                              help="Poisson arrival rate (clients/s); "
+                                   "omit for everyone-at-zero")
+    fleet_parser.add_argument("--mean-dwell", type=float, default=None,
+                              metavar="S",
+                              help="mean watch time before departure "
+                                   "(exponential); omit to never leave")
+    fleet_parser.add_argument("--churn-seed", type=int, default=0)
+    fleet_parser.add_argument("--fast-forward", action="store_true",
+                              help="skip provably idle ticks")
+    fleet_parser.add_argument("--json", default=None, metavar="PATH",
+                              help="also write the outcome as JSON")
+    _add_engine_argument(fleet_parser, default="event")
+    _add_cache_arguments(fleet_parser)
+
     cache_parser = commands.add_parser(
         "cache", help="manage the content-addressed outcome cache")
     cache_parser.add_argument("action", choices=("stats", "clear", "verify"))
@@ -147,9 +198,9 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _add_engine_argument(parser) -> None:
+def _add_engine_argument(parser, default: str = "tick") -> None:
     parser.add_argument("--engine", choices=("tick", "event"),
-                        default="tick",
+                        default=default,
                         help="simulation core: the per-tick oracle loop "
                              "or the event-driven engine (byte-identical "
                              "results, fewer executed steps)")
@@ -427,6 +478,83 @@ def _cmd_resilience(args) -> int:
     return 0
 
 
+def _render_percentile_row(label: str, row, unit: str) -> str:
+    cells = "  ".join(f"p{int(q)}={value:.2f}" for q, value in row)
+    return f"  {label:<12}: {cells} {unit}"
+
+
+def _cmd_fleet(args) -> int:
+    import json
+
+    if args.cell_mbps is not None:
+        schedule = ConstantSchedule(mbps(args.cell_mbps))
+        profile_id = 0
+        source = f"constant {args.cell_mbps} Mbps"
+    else:
+        profile_id = args.profile if args.profile is not None else 7
+        schedule = None
+        source = f"profile {profile_id}"
+    weights = None
+    if args.service_weights:
+        weights = tuple(
+            float(part) for part in args.service_weights.split(",") if part
+        )
+    devices = (DEFAULT_DEVICE,)
+    if args.devices:
+        devices = tuple(
+            get_device_class(part.strip())
+            for part in args.devices.split(",")
+            if part.strip()
+        )
+    spec = FleetSpec(
+        services=tuple(args.services),
+        clients=args.clients,
+        service_weights=weights,
+        devices=devices,
+        device_weights=None,
+        duration_s=args.duration,
+        content_duration_s=args.content_duration,
+        churn_seed=args.churn_seed,
+        arrival_rate_per_s=args.arrival_rate,
+        mean_dwell_s=args.mean_dwell,
+        profile_id=profile_id,
+        schedule=schedule,
+        fast_forward=args.fast_forward,
+        engine=args.engine,
+    )
+    print(f"Fleet of {spec.size} clients over {source} "
+          f"for {args.duration:.0f} s ({args.engine} engine)")
+    outcome = execute([spec], cache=_cache_for(args))[0]
+    if isinstance(outcome, FailedOutcome):
+        print(f"fleet failed: {outcome.error}", file=sys.stderr)
+        return 1
+    pop = outcome.population
+    print()
+    print(f"population   : {pop.clients} offered, {pop.arrived} arrived, "
+          f"{pop.departed} departed, {pop.completed} completed")
+    print(f"stalled      : {pop.stalled} client(s)")
+    print(_render_percentile_row("startup", pop.startup_s, "s"))
+    print(_render_percentile_row("stall time", pop.stall_s, "s"))
+    print(_render_percentile_row("stall ratio", pop.stall_rate, ""))
+    print(_render_percentile_row("bitrate", pop.bitrate_mbps, "Mbps"))
+    print(f"  jain index  : {pop.jain_bitrate:.3f} (displayed bitrate)")
+    if pop.per_service:
+        print("per service:")
+        for row in pop.per_service:
+            print(f"  {row.service:<4}: {row.clients:4d} clients, "
+                  f"{row.stalled:3d} stalled, "
+                  f"{row.mean_bitrate_mbps:5.2f} Mbps mean, "
+                  f"{row.mean_stall_s:5.1f} s stall mean")
+    stats = outcome.tick_stats
+    print(f"ticks        : {stats.ticks_executed} executed, "
+          f"{stats.idle_fast_forwarded_ticks} fast-forwarded")
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(outcome.to_json(), handle, indent=2)
+        print(f"\nwrote {args.json}")
+    return 0
+
+
 def _cmd_cache(args) -> int:
     from repro.core.outcome_cache import OutcomeCache
 
@@ -487,6 +615,7 @@ _COMMANDS = {
     "compare": _cmd_compare,
     "probe": _cmd_probe,
     "resilience": _cmd_resilience,
+    "fleet": _cmd_fleet,
     "cache": _cmd_cache,
     "services": _cmd_services,
     "profiles": _cmd_profiles,

@@ -89,6 +89,10 @@ class EventType(enum.Enum):
     TRANSFER_COMPLETE = "transfer_complete"
     FAULT_CHANGE = "fault_change"
     SESSION_END = "session_end"
+    # A fleet client's arrival or departure instant (static, registered
+    # up front like FAULT_CHANGE): batched windows clamp before it so
+    # activation and retirement always happen on a dispatched tick.
+    CLIENT_CHURN = "client_churn"
 
 
 class Event:

@@ -17,7 +17,7 @@ completion estimates and the fault plane's static change points.
 
 from __future__ import annotations
 
-import dataclasses
+import warnings
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
@@ -36,23 +36,69 @@ from repro.core.events import (
 from repro.net.clock import Clock
 from repro.net.network import Network
 from repro.net.schedule import BandwidthSchedule
+from repro.player.events import SessionEnded
 from repro.player.player import Player, PlayerState
 from repro.server.origin import OriginServer
-from repro.services.profiles import BuiltService, build_service, get_service
+from repro.services.profiles import BuiltService
 
 MULTI_ENGINES = ("tick", "event")
 
 
-@dataclass
-class ClientResult:
-    """One player's view of a shared-link session."""
+@dataclass(frozen=True)
+class ClientRecord:
+    """The picklable summary of one client's shared-link session.
+
+    The :class:`~repro.core.parallel.RunRecord` idea applied per
+    client: everything comparable and process-portable — QoE, terminal
+    state, churn instants — with the live object graph left behind on
+    :class:`ClientResult`.  This is what crosses worker boundaries and
+    enters the outcome cache as part of a
+    :class:`~repro.core.fleet.FleetOutcome`.
+
+    ``final_state`` is the player state value, or ``"departed"`` when
+    churn retired the client mid-session, or ``"unarrived"`` when its
+    arrival fell past the end of the run (offered but never carried
+    load).
+    """
 
     client_id: str
     service_name: str
+    qoe: QoeReport
+    final_state: str
+    end_reason: Optional[str] = None
+    device_class: str = "default"
+    arrival_s: float = 0.0
+    departure_s: Optional[float] = None
+
+
+@dataclass
+class ClientResult:
+    """One player's view of a shared-link session.
+
+    Splits along the RunRecord/RunOutcome seam: ``record`` is the
+    picklable summary, the remaining fields are the live object handles
+    (player graph, flow analyzer, UI monitor) that only exist on
+    in-process runs.  The old flat attributes (``client_id``,
+    ``service_name``, ``qoe``) remain readable as delegating
+    properties.
+    """
+
+    record: ClientRecord
     player: Player
     analyzer: TrafficAnalyzer
     ui: UiMonitor
-    qoe: QoeReport
+
+    @property
+    def client_id(self) -> str:
+        return self.record.client_id
+
+    @property
+    def service_name(self) -> str:
+        return self.record.service_name
+
+    @property
+    def qoe(self) -> QoeReport:
+        return self.record.qoe
 
 
 class MultiSession:
@@ -70,6 +116,8 @@ class MultiSession:
         rtt_s: float = 0.05,
         fast_forward: bool = False,
         faults: Optional[FaultSpec] = None,
+        arrivals: Optional[Sequence[float]] = None,
+        departures: Optional[Sequence[Optional[float]]] = None,
     ):
         if not builts:
             raise ValueError("need at least one client")
@@ -77,6 +125,7 @@ class MultiSession:
         self.fast_forward = fast_forward
         self.ticks_executed = 0
         self.fast_forwarded_ticks = 0
+        self.fast_forward_jumps = 0
         self.clock = Clock(dt=dt)
         self.faults = faults
         # Same layering as Session: origin faults sit between proxy and
@@ -101,26 +150,147 @@ class MultiSession:
                    built.manifest_url, cipher=built.cipher)
             for built in self.builts
         ]
+        # -- churn roster (the fleet layer's arrivals/departures) ------
+        count = len(self.players)
+        self.arrivals = (
+            list(arrivals) if arrivals is not None else [0.0] * count
+        )
+        self.departures = (
+            list(departures) if departures is not None else [None] * count
+        )
+        if len(self.arrivals) != count or len(self.departures) != count:
+            raise ValueError(
+                "arrivals/departures must align with the client list"
+            )
+        for index in range(count):
+            if self.arrivals[index] < 0:
+                raise ValueError(f"client {index}: arrival must be >= 0")
+            departure = self.departures[index]
+            if departure is not None and departure <= self.arrivals[index]:
+                raise ValueError(
+                    f"client {index}: departure must follow arrival"
+                )
+        self._churn = any(a > 1e-9 for a in self.arrivals) or any(
+            d is not None for d in self.departures
+        )
+        self._arrived = [a <= 1e-9 for a in self.arrivals]
+        self._retired = [False] * count
+        self._active = [
+            player
+            for index, player in enumerate(self.players)
+            if self._arrived[index]
+        ]
+        self._duration = 0.0
 
     def run(self, duration_s: float) -> list[ClientResult]:
         dt = self.clock.dt
+        self._duration = duration_s
         while self.clock.now < duration_s - 1e-9:
+            if self._churn:
+                self._process_churn(self.clock.now)
             if self.fast_forward and self._try_fast_forward(duration_s):
                 continue
             self.network.advance(dt)
-            for player in self.players:
+            for player in self._active:
                 player.advance(dt)
             self.clock.tick()
             self.ticks_executed += 1
-            if all(player.ended for player in self.players):
+            if self._all_done():
                 break
         return self._collect_results()
 
+    # -- churn -------------------------------------------------------------
+
+    def _process_churn(self, now: float) -> None:
+        """Activate due arrivals and retire due departures at ``now``.
+
+        Runs at the top of every (dispatched) tick in both engines, so
+        a client's first advance and its retirement land on exactly the
+        same tick either way — the byte-identity contract extended to
+        churn.
+        """
+        changed = False
+        for index in range(len(self.players)):
+            if not self._arrived[index]:
+                if self.arrivals[index] <= now + 1e-9:
+                    self._arrived[index] = True
+                    changed = True
+                continue
+            if self._retired[index]:
+                continue
+            departure = self.departures[index]
+            if departure is not None and now >= departure - 1e-9:
+                self._retire(index, now)
+                changed = True
+        if changed:
+            self._active = [
+                player
+                for index, player in enumerate(self.players)
+                if self._arrived[index] and not self._retired[index]
+            ]
+
+    def _retire(self, index: int, now: float) -> None:
+        """Tear down a departing client's flows without completions.
+
+        ``TcpConnection.abort`` marks any in-flight transfer aborted
+        *without* firing its completion callback (no re-entrant retry
+        scheduling on a player that will never advance again), then the
+        connections leave the shared link so the remaining clients stop
+        sharing capacity with a ghost.
+        """
+        player = self.players[index]
+        for connection in player.scheduler.connections():
+            connection.abort(now)
+            if connection in self.network.connections:
+                self.network.drop_connection(connection)
+        self._retired[index] = True
+
+    def _all_done(self) -> bool:
+        if not self._churn:
+            return all(player.ended for player in self.players)
+        for index, player in enumerate(self.players):
+            if self._retired[index]:
+                continue
+            if not self._arrived[index]:
+                if self.arrivals[index] < self._duration - 1e-9:
+                    return False  # still due to arrive
+                continue  # never arrives within this run
+            if not player.ended:
+                return False
+        return True
+
+    def _churn_horizon_ticks(self, ticks: int, dt: float) -> int:
+        """Clamp a no-op window so churn instants run on serial ticks.
+
+        Same window arithmetic as the event engine's batch-to-event
+        clamp, so both engines activate and retire on identical ticks.
+        """
+        if not self._churn:
+            return ticks
+        now = self.clock.now
+        for index in range(len(self.players)):
+            if self._retired[index]:
+                continue
+            if not self._arrived[index]:
+                instant = self.arrivals[index]
+            else:
+                instant = self.departures[index]
+                if instant is None:
+                    continue
+            if instant <= now + 1e-9:
+                continue  # due now; the tick top already processed it
+            clamp = int((instant - now - 1e-9) / dt) + 1
+            if clamp < ticks:
+                ticks = clamp
+        return ticks
+
+    # -- fast forward ------------------------------------------------------
+
     def _try_fast_forward(self, duration_s: float) -> bool:
         """Jump the shared clock over a stretch idle for *every* player."""
-        if all(player.ended for player in self.players):
+        if self._all_done():
             return False  # the serial loop is about to break
-        for player in self.players:
+        for player in self._active:
             if player.state not in (PlayerState.PLAYING, PlayerState.ENDED):
                 return False
             if player.scheduler.busy:
@@ -131,41 +301,71 @@ class MultiSession:
         max_ticks = int((duration_s - 1e-9 - self.clock.now) / dt)
         if max_ticks < 2:
             return False
-        ticks = min(
-            player.idle_noop_ticks(dt, max_ticks) for player in self.players
-        )
+        if self._active:
+            ticks = min(
+                player.idle_noop_ticks(dt, max_ticks)
+                for player in self._active
+            )
+        else:
+            ticks = max_ticks  # everyone still waiting to arrive
         # Fault change points (including no-op resets) must execute on
-        # the serial path so the fault cursor advances identically.
+        # the serial path so the fault cursor advances identically; the
+        # same goes for churn instants.
         ticks = self.network.fault_horizon_ticks(ticks, dt)
+        ticks = self._churn_horizon_ticks(ticks, dt)
         if ticks < 2:
             return False
-        for player in self.players:
+        for player in self._active:
             player.apply_noop_ticks(ticks, dt)
         for _ in range(ticks):
             self.clock.tick()
         self.fast_forwarded_ticks += ticks
+        self.fast_forward_jumps += 1
         return True
+
+    # -- results -----------------------------------------------------------
+
+    def _final_state(self, index: int) -> str:
+        if self._churn and not self._arrived[index]:
+            return "unarrived"
+        if self._retired[index]:
+            return "departed"
+        return self.players[index].state.value
 
     def _collect_results(self) -> list[ClientResult]:
         results = []
-        for built, player in zip(self.builts, self.players):
+        for index, (built, player) in enumerate(
+            zip(self.builts, self.players)
+        ):
             marker = f"/{built.asset.asset_id}/"
             flows = [flow for flow in self.proxy.flows if marker in flow.url]
             analyzer = TrafficAnalyzer()
             analyzer.observe_flows(flows)
             ui = UiMonitor(player.ui_samples)
+            end_reason = next(
+                (
+                    event.reason
+                    for event in player.events.events
+                    if isinstance(event, SessionEnded)
+                ),
+                None,
+            )
+            record = ClientRecord(
+                client_id=built.asset.asset_id,
+                service_name=built.spec.name,
+                qoe=compute_qoe(
+                    analyzer, ui,
+                    total_bytes=sum(f.size_bytes or 0 for f in flows
+                                    if f.complete),
+                ),
+                final_state=self._final_state(index),
+                end_reason=end_reason,
+                arrival_s=self.arrivals[index],
+                departure_s=self.departures[index],
+            )
             results.append(
                 ClientResult(
-                    client_id=built.asset.asset_id,
-                    service_name=built.spec.name,
-                    player=player,
-                    analyzer=analyzer,
-                    ui=ui,
-                    qoe=compute_qoe(
-                        analyzer, ui,
-                        total_bytes=sum(f.size_bytes or 0 for f in flows
-                                        if f.complete),
-                    ),
+                    record=record, player=player, analyzer=analyzer, ui=ui
                 )
             )
         return results
@@ -205,7 +405,11 @@ class EventDrivenMultiSession(EventLoopCore, MultiSession):
         dt = self.clock.dt
         limit = duration_s - 1e-9
         self._limit = limit
+        self._duration = duration_s
         self._register_fault_events()
+        self._register_churn_events(duration_s)
+        if self._churn:
+            self._process_churn(self.clock.now)
         self._refresh_producers()
         clock = self.clock
         while clock.now < limit:
@@ -228,16 +432,45 @@ class EventDrivenMultiSession(EventLoopCore, MultiSession):
 
     # -- serial event instants --------------------------------------------
 
+    def _register_churn_events(self, duration_s: float) -> None:
+        """Static queue entries for every churn instant inside the run.
+
+        Like fault change points: batched windows clamp just before
+        them, so arrivals activate and departures retire on a
+        dispatched (serial) tick — the same tick the oracle's per-tick
+        churn scan would pick.
+        """
+        if not self._churn:
+            return
+        for index in range(len(self.players)):
+            arrival = self.arrivals[index]
+            if arrival > 1e-9 and arrival < duration_s - 1e-9:
+                self.queue.push(arrival, EventType.CLIENT_CHURN, index)
+                self._note_depth()
+            departure = self.departures[index]
+            if departure is not None and departure < duration_s - 1e-9:
+                self.queue.push(departure, EventType.CLIENT_CHURN, index)
+                self._note_depth()
+
+    def _retire(self, index: int, now: float) -> None:
+        super()._retire(index, now)
+        handle = self._wake_handles[index]
+        if handle is not None and not handle.cancelled:
+            self.queue.cancel(handle)
+        self._wake_handles[index] = None
+
     def _dispatch_tick(self, dt: float) -> bool:
         """One oracle tick at an event instant; True ends the session."""
         self.queue.pop_due(self.clock.now + 1e-9)
+        if self._churn:
+            self._process_churn(self.clock.now)
         self.network.advance(dt)
-        for player in self.players:
+        for player in self._active:
             player.advance(dt)
         self.clock.tick()
         self.ticks_executed += 1
         self.events_dispatched += 1
-        if all(player.ended for player in self.players):
+        if self._all_done():
             return True  # mirror the oracle's post-tick break
         self._refresh_producers()
         return False
@@ -255,6 +488,10 @@ class EventDrivenMultiSession(EventLoopCore, MultiSession):
         """
         queue = self.queue
         for index, player in enumerate(self.players):
+            if self._churn and (
+                not self._arrived[index] or self._retired[index]
+            ):
+                continue  # inactive clients own no wake deadline
             scheduler = player.scheduler
             sig = (
                 player.state,
@@ -284,7 +521,7 @@ class EventDrivenMultiSession(EventLoopCore, MultiSession):
 
     def _sync_job_estimates(self) -> None:
         jobs = []
-        for player in self.players:
+        for player in self._active:
             jobs.extend(player.scheduler.jobs())
         self._sync_job_estimates_for(jobs)
 
@@ -330,7 +567,7 @@ class EventDrivenMultiSession(EventLoopCore, MultiSession):
         ticks = int((target - now - 1e-9) / dt) + 1
         if ticks > remaining:
             ticks = remaining
-        players = self.players
+        players = self._active
         if ticks < 1:
             return self._dispatch_tick(dt)
         if self.network.steady_for_batching():
@@ -346,6 +583,7 @@ class EventDrivenMultiSession(EventLoopCore, MultiSession):
             for _ in range(executed):
                 clock.tick()
             self.fast_forwarded_ticks += executed
+            self.fast_forward_jumps += 1
             return False
         if any(player.scheduler.busy for player in players):
             # Jobs in flight with no live transfer anywhere: no
@@ -358,6 +596,7 @@ class EventDrivenMultiSession(EventLoopCore, MultiSession):
         for _ in range(ticks):
             clock.tick()
         self.fast_forwarded_ticks += ticks
+        self.fast_forward_jumps += 1
         return False
 
 
@@ -374,36 +613,34 @@ def run_shared_link(
     faults: Optional[FaultSpec] = None,
     engine: str = "tick",
 ) -> list[ClientResult]:
-    """Convenience: host each service and run them on one shared link.
+    """Deprecated positional-signature shim over the FleetSpec path.
 
-    Each client gets its own content seed so titles differ, and its own
-    URL namespace so flow attribution is unambiguous (even when two
-    clients stream the same service).  ``engine`` selects the lock-step
-    tick loop (``"tick"``, the oracle) or the shared-queue event loop
-    (``"event"``) — both produce identical :class:`ClientResult`s.
+    Build a :class:`~repro.core.fleet.FleetSpec` with an explicit
+    roster (``services=`` one entry per client, ``clients=None``) and
+    run it through :func:`~repro.core.fleet.run_fleet` instead — the
+    spec-first call is picklable, cacheable and sweepable.  This shim
+    routes through exactly that path and returns the same live
+    :class:`ClientResult` list the old helper produced.
     """
-    if engine not in MULTI_ENGINES:
-        raise ValueError(
-            f"unknown engine {engine!r}; expected one of {MULTI_ENGINES}"
-        )
-    server = OriginServer()
-    builts = []
-    for index, spec_or_name in enumerate(spec_or_names):
-        spec = (get_service(spec_or_name) if isinstance(spec_or_name, str)
-                else spec_or_name)
-        distinct = dataclasses.replace(spec, name=f"{spec.name}#{index}")
-        builts.append(
-            build_service(
-                distinct,
-                server,
-                duration_s=content_duration_s or duration_s,
-                content_seed=content_seed + index,
-                base_url=f"https://cdn{index}.example.com",
-            )
-        )
-    session_cls = EventDrivenMultiSession if engine == "event" else MultiSession
-    session = session_cls(
-        builts, server, schedule, dt=dt, rtt_s=rtt_s,
-        fast_forward=fast_forward, faults=faults,
+    warnings.warn(
+        "run_shared_link is deprecated; build a FleetSpec and call "
+        "repro.core.fleet.run_fleet (keep_results=True for live handles)",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    return session.run(duration_s)
+    from repro.core.fleet import FleetSpec, run_fleet
+
+    spec = FleetSpec(
+        services=tuple(spec_or_names),
+        duration_s=duration_s,
+        content_duration_s=content_duration_s,
+        dt=dt,
+        rtt_s=rtt_s,
+        content_seed=content_seed,
+        fast_forward=fast_forward,
+        faults=faults,
+        schedule=schedule,
+        engine=engine,
+    )
+    outcome = run_fleet(spec, keep_results=True)
+    return list(outcome.results)

@@ -131,7 +131,14 @@ def canonical_spec(spec: "RunSpec", *, check_sinks: bool = True) -> "RunSpec":
     the sweep journal (:mod:`repro.core.supervisor`) uses it because a
     journaled completion means the run — side effects included —
     already happened, so replaying it skips nothing.
+
+    Spec kinds that know how to canonicalize themselves (FleetSpec)
+    provide ``canonicalized()``; RunSpec keeps its resolution chain
+    here because the lazy-default semantics predate that hook.
     """
+    canonicalize = getattr(spec, "canonicalized", None)
+    if canonicalize is not None:
+        return canonicalize()
     if check_sinks and spec.tracing is not None and spec.tracing.sink != "ring":
         raise UncacheableSpec(
             "file-backed trace sinks are side effects a cache hit would "
@@ -294,13 +301,19 @@ class OutcomeCache:
                 or entry["key"] != key
             ):
                 raise ValueError("entry does not match its address")
-            outcome = RunOutcome(
-                spec=spec,
-                record=entry["record"],
-                tick_stats=entry["tick_stats"],
-                metrics=entry["metrics"],
-                trace=entry["trace"],
-            )
+            if "fleet" in entry:
+                # A FleetOutcome is picklable once its live results are
+                # stripped; rebind the caller's spec so lazily-defaulted
+                # fields compare the way they were asked for.
+                outcome = replace(entry["fleet"], spec=spec)
+            else:
+                outcome = RunOutcome(
+                    spec=spec,
+                    record=entry["record"],
+                    tick_stats=entry["tick_stats"],
+                    metrics=entry["metrics"],
+                    trace=entry["trace"],
+                )
         except FileNotFoundError:
             self._miss()
             return None
@@ -331,17 +344,24 @@ class OutcomeCache:
                 key = spec_key(spec)
             except UncacheableSpec:
                 return False
+        from repro.core.fleet import FleetOutcome
+
         path = self._entry_path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         entry = {
             "schema": SCHEMA_VERSION,
             "code": self.fingerprint,
             "key": key,
-            "record": outcome.record,
-            "tick_stats": outcome.tick_stats,
-            "metrics": outcome.metrics,
-            "trace": outcome.trace,
         }
+        if isinstance(outcome, FleetOutcome):
+            entry["fleet"] = replace(outcome, results=None)
+        else:
+            entry.update(
+                record=outcome.record,
+                tick_stats=outcome.tick_stats,
+                metrics=outcome.metrics,
+                trace=outcome.trace,
+            )
         # Atomic publish: concurrent readers never see a partial write.
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:

@@ -37,6 +37,12 @@ from collections import OrderedDict
 from dataclasses import dataclass, field, replace
 from typing import Optional, Sequence, Union
 
+from repro.core.fleet import (
+    FleetOutcome,
+    FleetSpec,
+    fleet_catalogue_key,
+    run_fleet,
+)
 from repro.core.outcome_cache import CacheSpec, resolve_outcome_cache
 from repro.core.parallel import (
     RunRecord,
@@ -89,8 +95,15 @@ class RunOutcome:
     )
 
 
-def _resolve_tracing(spec: RunSpec, tracer: TracerSpec) -> RunSpec:
-    """Attach the sweep-level tracer request to a spec lacking one."""
+def _resolve_tracing(spec, tracer: TracerSpec):
+    """Attach the sweep-level tracer request to a spec lacking one.
+
+    FleetSpecs pass through untouched — per-client trace spines are a
+    population of files, not a run artifact (a fleet's observability
+    rides its metrics snapshot instead).
+    """
+    if not isinstance(spec, RunSpec):
+        return spec
     if tracer is None or tracer is False or spec.tracing is not None:
         return spec
     config = tracer if isinstance(tracer, TraceConfig) else TraceConfig()
@@ -98,20 +111,32 @@ def _resolve_tracing(spec: RunSpec, tracer: TracerSpec) -> RunSpec:
 
 
 def run_one(
-    spec: RunSpec,
+    spec: Union[RunSpec, FleetSpec],
     *,
     tracer: TracerSpec = None,
     profile: bool = False,
     keep_result: bool = True,
     **build_extras,
-) -> RunOutcome:
+) -> Union[RunOutcome, FleetOutcome]:
     """Execute one spec in process and return its full outcome.
 
     ``build_extras`` (``player_config``, ``manifest_rewriter``,
     ``reject_after_segments``, ``server``) pass straight to
     :meth:`RunSpec.build` — they may hold live objects, which is fine
     here because nothing crosses a process boundary.
+
+    A :class:`~repro.core.fleet.FleetSpec` dispatches to
+    :func:`~repro.core.fleet.run_fleet`; this is the seam that lets
+    ``execute()``, the supervisor's lease task, the outcome cache and
+    the journal treat fleets as just another spec kind.
     """
+    if isinstance(spec, FleetSpec):
+        if build_extras:
+            raise TypeError(
+                "build extras do not apply to fleet specs: "
+                f"{sorted(build_extras)}"
+            )
+        return run_fleet(spec, keep_results=keep_result, profile=profile)
     spec = _resolve_tracing(spec, tracer)
     obs = Observability.create(
         spec.tracing,
@@ -159,7 +184,12 @@ def _plan_chunks(
         ]
     groups: OrderedDict[object, list[int]] = OrderedDict()
     for index, spec in enumerate(specs):
-        groups.setdefault(catalogue_key(spec), []).append(index)
+        key = (
+            fleet_catalogue_key(spec)
+            if isinstance(spec, FleetSpec)
+            else catalogue_key(spec)
+        )
+        groups.setdefault(key, []).append(index)
     total = len(specs)
     chunks: list[list[int]] = []
     for indices in groups.values():
@@ -195,7 +225,7 @@ def _record_worker_encode_stats(
 
 
 def execute(
-    specs: Sequence[RunSpec],
+    specs: Sequence[Union[RunSpec, FleetSpec]],
     *,
     workers: int = 0,
     tracer: TracerSpec = None,
@@ -205,7 +235,7 @@ def execute(
     cache: CacheSpec = None,
     policy: Optional[SweepPolicy] = None,
     journal: JournalSpec = None,
-) -> list[Union[RunOutcome, FailedOutcome]]:
+) -> list[Union[RunOutcome, FleetOutcome, FailedOutcome]]:
     """Execute a batch of specs, serially or over worker processes.
 
     The single sweep entry point: ``workers=0`` runs in process (and may
@@ -290,7 +320,7 @@ def execute(
     if store is not None:
         for index in pending:
             outcome = outcomes[index]
-            if outcome is not None and outcome.record is not None:
+            if outcome is not None and not isinstance(outcome, FailedOutcome):
                 store.put(specs[index], outcome)
     return outcomes
 

@@ -380,9 +380,10 @@ class SweepSupervisor:
         if pid != os.getpid():
             self.encode_reports.append((pid, misses, hits))
         if self.journal is not None and lease.key is not None:
+            from repro.core.fleet import FleetOutcome
             from repro.core.run import RunOutcome
 
-            if isinstance(outcome, RunOutcome):
+            if isinstance(outcome, (RunOutcome, FleetOutcome)):
                 self.journal.store_outcome(lease.key, outcome)
             self.journal.record(
                 lease.key,

@@ -16,7 +16,7 @@ from typing import Callable, Optional, Protocol
 from repro.net.clock import Clock
 from repro.net.faults import TransportFaultPlane
 from repro.net.http import HttpRequest, HttpResponse, ResponsePlan
-from repro.net.link import BottleneckLink, water_fill
+from repro.net.link import BottleneckLink, allocate
 from repro.net.schedule import BandwidthSchedule
 from repro.net.tcp import TcpConnection, TcpConnectionState, Transfer
 from repro.util import check_non_negative
@@ -315,7 +315,7 @@ class Network:
                     allocations = (capacity,)
             else:
                 demands = [c.rate_cap_bps() for c in connections]
-                allocations = water_fill(capacity, demands)
+                allocations = allocate(capacity, demands)
             # Plan the tick; commit only if no transfer would complete.
             plan = []
             completing = False

@@ -138,6 +138,11 @@ class Scheduler:
     def submit(self, job: FetchJob) -> None:
         raise NotImplementedError
 
+    def connections(self) -> list[TcpConnection]:
+        """Every connection this scheduler owns (fleet retirement uses
+        this to abort and drop a departing client's flows)."""
+        raise NotImplementedError
+
     # -- shared helpers --------------------------------------------------------
 
     def inflight(self, stream_type: StreamType | None = None) -> int:
@@ -246,6 +251,9 @@ class SingleConnectionScheduler(Scheduler):
         super().__init__(network, persistent=persistent)
         self._connection = network.new_connection("single")
 
+    def connections(self) -> list[TcpConnection]:
+        return [self._connection]
+
     def slots_for(self, stream_type: StreamType) -> int:
         return 0 if self.busy else 1
 
@@ -265,6 +273,9 @@ class SyncedAvScheduler(Scheduler):
             raise ValueError("need at least one connection")
         super().__init__(network, persistent=persistent)
         self._pool = [network.new_connection("av") for _ in range(connections)]
+
+    def connections(self) -> list[TcpConnection]:
+        return list(self._pool)
 
     def slots_for(self, stream_type: StreamType) -> int:
         if self.inflight(stream_type) >= 1:
@@ -308,6 +319,11 @@ class PartitionedParallelScheduler(Scheduler):
             ],
         }
 
+    def connections(self) -> list[TcpConnection]:
+        return list(self._pools[StreamType.VIDEO]) + list(
+            self._pools[StreamType.AUDIO]
+        )
+
     def slots_for(self, stream_type: StreamType) -> int:
         return len(self._free_connections(self._pools[stream_type]))
 
@@ -334,6 +350,9 @@ class SplitScheduler(Scheduler):
             raise ValueError("need at least one connection")
         super().__init__(network, persistent=persistent)
         self._pool = [network.new_connection("split") for _ in range(connections)]
+
+    def connections(self) -> list[TcpConnection]:
+        return list(self._pool)
 
     def slots_for(self, stream_type: StreamType) -> int:
         return 0 if self.busy else 1

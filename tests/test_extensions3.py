@@ -6,7 +6,8 @@ import dataclasses
 import pytest
 
 from repro.analysis.timelines import extract_timelines
-from repro.core.multi import MultiSession, run_shared_link
+from repro.core.fleet import FleetSpec, run_fleet
+from repro.core.multi import MultiSession
 from repro.core.session import Session
 from tests.support import run_session
 from repro.manifest.dash import DashBuilder, SegmentAddressing, parse_mpd
@@ -75,9 +76,15 @@ class TestSegmentTemplate:
         assert result.playback_started
 
 
+def _run_fleet_clients(names, schedule, *, duration_s):
+    spec = FleetSpec(services=tuple(names), schedule=schedule,
+                     duration_s=duration_s, engine="tick")
+    return list(run_fleet(spec, keep_results=True).results)
+
+
 class TestMultiSession:
     def test_identical_clients_share_fairly(self):
-        results = run_shared_link(["H6", "H6"], ConstantSchedule(mbps(6)),
+        results = _run_fleet_clients(["H6", "H6"], ConstantSchedule(mbps(6)),
                                   duration_s=240.0)
         assert len(results) == 2
         a, b = results
@@ -89,7 +96,7 @@ class TestMultiSession:
         assert b.qoe.total_stall_s == 0.0
 
     def test_flow_attribution_is_disjoint_and_complete(self):
-        results = run_shared_link(["H6", "D2"], ConstantSchedule(mbps(6)),
+        results = _run_fleet_clients(["H6", "D2"], ConstantSchedule(mbps(6)),
                                   duration_s=120.0)
         urls_a = {d.url for d in results[0].analyzer.downloads}
         urls_b = {d.url for d in results[1].analyzer.downloads}
@@ -99,7 +106,7 @@ class TestMultiSession:
     def test_aggressive_beats_conservative_on_shared_link(self):
         # D3 (aggressive, actual-aware) vs D2 (most conservative) —
         # the unfairness FESTIVE-style work addresses.
-        results = run_shared_link(["D3", "D2"], ConstantSchedule(mbps(4)),
+        results = _run_fleet_clients(["D3", "D2"], ConstantSchedule(mbps(4)),
                                   duration_s=240.0)
         d3, d2 = results
         assert d3.qoe.average_displayed_bitrate_bps > \
@@ -110,7 +117,7 @@ class TestMultiSession:
             MultiSession([], OriginServer(), ConstantSchedule(mbps(1)))
 
     def test_same_service_twice_distinct_namespaces(self):
-        results = run_shared_link(["H1", "H1"], ConstantSchedule(mbps(5)),
+        results = _run_fleet_clients(["H1", "H1"], ConstantSchedule(mbps(5)),
                                   duration_s=90.0)
         assert results[0].client_id != results[1].client_id
         assert results[0].analyzer.downloads

@@ -21,10 +21,10 @@ from repro.analysis.faults import (
     SeededTruncation,
 )
 from repro.analysis.serialize import capture_to_json
+from repro.core.fleet import FleetSpec, run_fleet
 from repro.core.multi import (
     EventDrivenMultiSession,
     MultiSession,
-    run_shared_link,
 )
 from repro.net.schedule import ConstantSchedule, StepSchedule, TraceSchedule
 from repro.server.origin import OriginServer
@@ -59,14 +59,21 @@ GRID_FAULTS = FaultSpec(
 )
 
 
-def _run_pair(combo, schedule, faults=None):
-    kwargs = dict(
+def _run_clients(combo, schedule, *, engine, faults=None):
+    spec = FleetSpec(
+        services=tuple(combo),
+        schedule=schedule,
         duration_s=DURATION_S,
         content_duration_s=CONTENT_S,
         faults=faults,
+        engine=engine,
     )
-    tick = run_shared_link(list(combo), schedule, **kwargs)
-    event = run_shared_link(list(combo), schedule, engine="event", **kwargs)
+    return list(run_fleet(spec, keep_results=True).results)
+
+
+def _run_pair(combo, schedule, faults=None):
+    tick = _run_clients(combo, schedule, engine="tick", faults=faults)
+    event = _run_clients(combo, schedule, engine="event", faults=faults)
     return tick, event
 
 
@@ -172,8 +179,9 @@ def test_wake_dirty_check_skips_untouched_players():
 
 def test_unknown_engine_rejected():
     with pytest.raises(ValueError, match="unknown engine"):
-        run_shared_link(
-            ["H1"], SCHEDULES["constant"], duration_s=10.0, engine="warp"
+        FleetSpec(
+            services=("H1",), schedule=SCHEDULES["constant"],
+            duration_s=10.0, engine="warp",
         )
 
 

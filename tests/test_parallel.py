@@ -2,10 +2,12 @@
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 import pytest
 
 from repro.core.experiment import ProfileRun, profile_sweep_specs
-from repro.core.multi import run_shared_link
+from repro.core.fleet import FleetSpec, run_fleet
 from repro.core.run import execute
 from repro.core.parallel import (
     RunSpec,
@@ -201,10 +203,12 @@ def test_fast_forward_off_by_default():
 
 def test_shared_link_fast_forward_matches_ticked():
     schedule = ConstantSchedule(mbps(12))
-    ticked = run_shared_link(["H4", "S2"], schedule, duration_s=90.0,
-                             content_duration_s=80.0)
-    jumped = run_shared_link(["H4", "S2"], schedule, duration_s=90.0,
-                             content_duration_s=80.0, fast_forward=True)
+    spec = FleetSpec(services=("H4", "S2"), schedule=schedule,
+                     duration_s=90.0, content_duration_s=80.0, engine="tick")
+    ticked = run_fleet(spec, keep_results=True).results
+    jumped = run_fleet(
+        replace(spec, fast_forward=True), keep_results=True
+    ).results
     for a, b in zip(ticked, jumped):
         assert a.qoe == b.qoe
         assert a.player.ui_samples == b.player.ui_samples
