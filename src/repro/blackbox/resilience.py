@@ -257,6 +257,7 @@ def run_resilience_sweep(
     cache: CacheSpec = None,
     policy: Optional[SweepPolicy] = None,
     journal: JournalSpec = None,
+    hosts: Optional[Sequence[str]] = None,
 ) -> ResilienceReport:
     """Run the services x scenarios grid and distill it into a report.
 
@@ -274,6 +275,9 @@ def run_resilience_sweep(
     journal a killed sweep resumes instead of restarting, and with
     quarantine enabled a poison cell comes back as
     ``final_state="quarantined"`` instead of sinking the grid.
+    ``hosts`` shards the grid over ``repro worker`` daemons
+    (:mod:`repro.core.distributed`); the report stays identical — cells
+    are pure functions of their specs wherever they execute.
     """
     if services is None:
         services = ALL_SERVICE_NAMES
@@ -294,7 +298,8 @@ def run_resilience_sweep(
                 )
             )
     outcomes = execute(
-        specs, workers=workers, cache=cache, policy=policy, journal=journal
+        specs, workers=workers, cache=cache, policy=policy,
+        journal=journal, hosts=hosts,
     )
     cells = []
     index = 0

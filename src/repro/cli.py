@@ -22,6 +22,12 @@ Commands mirror the library's main entry points:
   percentiles, Jain fairness, per-service rows);
 * ``cache stats|clear|verify [--cache-dir PATH]`` — inspect or manage
   the content-addressed outcome cache the sweep commands share;
+* ``worker --listen HOST:PORT | --spool PATH [--workers N]`` — serve
+  sweep shards as a distributed worker daemon
+  (:mod:`repro.core.distributed`); transports carry pickled specs, so
+  bind to loopback or trusted networks only;
+* ``sweep status JOURNAL_DIR`` — summarize a sweep journal: lease
+  states, per-host/worker utilization, skipped lines;
 * ``services`` — list the modelled services and their designs;
 * ``profiles`` — list the 14 cellular bandwidth profiles.
 
@@ -33,7 +39,10 @@ a killed run restarts where it stopped, ``--spec-timeout S`` /
 ``--max-attempts N`` / ``--quarantine`` configure the per-spec
 timeout, retry and poison-quarantine policy, and a ``sweep
 supervisor:`` summary line reports what supervision did (also merged
-into ``--metrics-json`` output as ``sweep.*`` counters).
+into ``--metrics-json`` output as ``sweep.*`` counters).  With
+``--hosts H1:P1,spool:PATH,...`` the sweep is sharded across ``repro
+worker`` daemons and a ``sweep dispatch:`` line reports shards sent,
+worker deaths and re-dispatched leases (``dispatch.*`` counters).
 
 Every command executes through the unified run API
 (:mod:`repro.core.run`): a command builds :class:`RunSpec`s and hands
@@ -65,6 +74,7 @@ from repro.net.schedule import ConstantSchedule
 from repro.net.traces import cellular_profiles
 from repro.obs import TraceConfig, render_timeline
 from repro.obs.metrics import (
+    DISPATCH_COUNTERS,
     SWEEP_COUNTERS,
     MetricsSnapshot,
     process_registry,
@@ -193,6 +203,32 @@ def _build_parser() -> argparse.ArgumentParser:
                               help="cache directory (default: "
                                    "$REPRO_CACHE_DIR or the XDG cache dir)")
 
+    worker_parser = commands.add_parser(
+        "worker", help="serve sweep shards as a distributed worker")
+    transport = worker_parser.add_mutually_exclusive_group(required=True)
+    transport.add_argument("--listen", default=None, metavar="HOST:PORT",
+                           help="accept coordinator connections on "
+                                "HOST:PORT (port 0 = ephemeral; the bound "
+                                "address is printed); pickled payloads — "
+                                "bind to loopback or trusted networks only")
+    transport.add_argument("--spool", default=None, metavar="PATH",
+                           help="exchange messages through a shared "
+                                "filesystem spool directory instead of a "
+                                "socket")
+    worker_parser.add_argument("--workers", type=int, default=0,
+                               help="local pool size per shard "
+                                    "(0 = in-process serial)")
+    worker_parser.add_argument("--label", default=None,
+                               help="host label in coordinator journals "
+                                    "and metrics (default: hostname:pid)")
+
+    sweep_parser = commands.add_parser(
+        "sweep", help="inspect sweep state")
+    sweep_parser.add_argument("action", choices=("status",))
+    sweep_parser.add_argument("journal_dir", metavar="JOURNAL_DIR",
+                              help="a sweep journal directory "
+                                   "(journal.jsonl + outcomes/)")
+
     commands.add_parser("services", help="list modelled services")
     commands.add_parser("profiles", help="list cellular profiles")
     return parser
@@ -231,6 +267,11 @@ def _add_supervision_arguments(parser) -> None:
     parser.add_argument("--quarantine", action="store_true",
                         help="record specs that exhaust their attempts as "
                              "typed failures instead of aborting the sweep")
+    parser.add_argument("--hosts", default=None, metavar="H1,H2,...",
+                        help="shard the sweep across repro worker daemons "
+                             "(HOST:PORT or spool:PATH entries, comma-"
+                             "separated); --workers then sizes the local "
+                             "fallback pool")
 
 
 def _cache_for(args):
@@ -252,21 +293,32 @@ def _policy_for(args):
     )
 
 
+def _hosts_for(args):
+    """Resolve the --hosts flag to a host list (None = local sweep)."""
+    if not args.hosts:
+        return None
+    return [part.strip() for part in args.hosts.split(",") if part.strip()]
+
+
 def _sample_sweep_counters() -> dict[str, float]:
     snapshot = process_registry().snapshot()
-    return {name: snapshot.total(name) for name in SWEEP_COUNTERS}
+    return {
+        name: snapshot.total(name)
+        for name in SWEEP_COUNTERS + DISPATCH_COUNTERS
+    }
 
 
 def _sweep_counter_delta(before: dict[str, float]) -> MetricsSnapshot:
-    """What supervision did during this command, as a snapshot.
+    """What supervision and dispatch did during this command.
 
-    Sweep counters live in the process registry (they are process
-    history, not run output); the CLI differences them around the sweep
-    so the summary and ``--metrics-json`` describe this command only.
+    Sweep and dispatch counters live in the process registry (they are
+    process history, not run output); the CLI differences them around
+    the sweep so the summary and ``--metrics-json`` describe this
+    command only.
     """
     after = _sample_sweep_counters()
     return MetricsSnapshot(counters=tuple(sorted(
-        (name, (), after[name] - before[name]) for name in SWEEP_COUNTERS
+        (name, (), after[name] - before[name]) for name in before
     )))
 
 
@@ -274,8 +326,20 @@ def _print_sweep_summary(delta: MetricsSnapshot) -> None:
     parts = " ".join(
         f"{name.split('.', 1)[1]}={value:.0f}"
         for name, _, value in delta.counters
+        if name in SWEEP_COUNTERS
     )
     print(f"\nsweep supervisor: {parts}")
+    dispatch = [
+        (name, value)
+        for name, _, value in delta.counters
+        if name in DISPATCH_COUNTERS
+    ]
+    if any(value for _, value in dispatch):
+        parts = " ".join(
+            f"{name.split('.', 1)[1]}={value:.0f}"
+            for name, value in dispatch
+        )
+        print(f"sweep dispatch: {parts}")
 
 
 def _schedule_for(args):
@@ -365,7 +429,9 @@ def _cmd_compare(args) -> int:
     selected = [profiles[pid - 1] for pid in profile_ids]
     cache = resolve_outcome_cache(_cache_for(args))
     policy = _policy_for(args)
-    supervised = policy is not None or args.resume is not None
+    hosts = _hosts_for(args)
+    supervised = (policy is not None or args.resume is not None
+                  or hosts is not None)
     before = _sample_sweep_counters()
     summaries = []
     all_outcomes = []
@@ -376,7 +442,7 @@ def _cmd_compare(args) -> int:
         )
         outcomes = execute(
             specs, workers=args.workers, cache=cache,
-            policy=policy, journal=args.resume,
+            policy=policy, journal=args.resume, hosts=hosts,
         )
         all_outcomes.extend(outcomes)
         quarantined = [o for o in outcomes if o.record is None]
@@ -449,7 +515,9 @@ def _cmd_resilience(args) -> int:
             )
         scenarios = tuple(by_name[name] for name in wanted)
     policy = _policy_for(args)
-    supervised = policy is not None or args.resume is not None
+    hosts = _hosts_for(args)
+    supervised = (policy is not None or args.resume is not None
+                  or hosts is not None)
     before = _sample_sweep_counters()
     report = run_resilience_sweep(
         args.services,
@@ -462,6 +530,7 @@ def _cmd_resilience(args) -> int:
         cache=_cache_for(args),
         policy=policy,
         journal=args.resume,
+        hosts=hosts,
     )
     print(report.render())
     delta = _sweep_counter_delta(before)
@@ -584,6 +653,91 @@ def _cmd_cache(args) -> int:
     return 0
 
 
+def _cmd_worker(args) -> int:
+    import logging
+
+    from repro.core.distributed import SweepWorker
+
+    logging.basicConfig(level=logging.INFO, format="%(message)s")
+    if args.workers < 0:
+        raise SystemExit("--workers must be >= 0")
+    worker = SweepWorker(args.workers, label=args.label)
+    # Non-interactive shells start background jobs with SIGINT ignored,
+    # so scripts (and CI) stop daemons with plain `kill`: drain
+    # gracefully on SIGTERM just like Ctrl-C.
+    import signal
+
+    signal.signal(signal.SIGTERM, lambda *_: worker.stop())
+    try:
+        if args.listen:
+            host, _, port = args.listen.rpartition(":")
+            if not host or not port.isdigit():
+                raise SystemExit("--listen expects HOST:PORT")
+            import threading
+
+            ready = threading.Event()
+            serve = threading.Thread(
+                target=worker.serve_socket,
+                args=(host, int(port)),
+                kwargs={"ready": ready},
+            )
+            serve.start()
+            # The bound address line is machine-parsed (CI, scripts):
+            # with port 0 it is the only way to learn the real port.
+            ready.wait()
+            bound = worker.address
+            print(f"worker {worker.label} listening on "
+                  f"{bound[0]}:{bound[1]}", flush=True)
+            serve.join()
+        else:
+            print(f"worker {worker.label} watching spool {args.spool}",
+                  flush=True)
+            worker.serve_spool(args.spool)
+    except KeyboardInterrupt:
+        worker.stop()
+    print(f"worker {worker.label} served {worker.shards_run} shard(s), "
+          f"{worker.leases_run} lease(s)")
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from repro.core.supervisor import SweepJournal
+
+    journal = SweepJournal(args.journal_dir)
+    entries = journal.entries()
+    by_status: dict[str, int] = {}
+    by_host: dict[str, list] = {}
+    for entry in entries.values():
+        status = entry.get("status", "?")
+        by_status[status] = by_status.get(status, 0) + 1
+        where = entry.get("host")
+        if where is None and entry.get("pid") is not None:
+            where = f"local pid {entry['pid']}"
+        row = by_host.setdefault(where or "local", [0, 0.0])
+        row[0] += 1
+        row[1] += float(entry.get("duration", 0.0))
+    print(f"sweep journal at {journal.root}")
+    print(f"  leases recorded  : {len(entries)}")
+    for status in sorted(by_status):
+        print(f"    {status:<15}: {by_status[status]}")
+    print("  pending leases are the sweep's remainder: the journal "
+          "records only terminal leases")
+    if journal.skipped_lines:
+        print(f"  skipped lines    : {journal.skipped_lines} "
+              f"(undecodable; see the log warning)")
+    stats = journal.store.stats()
+    print(f"  stored outcomes  : {stats.entries} "
+          f"({stats.bytes / 1024:.1f} KiB)")
+    if by_host:
+        print("per worker:")
+        width = max(len(name) for name in by_host)
+        for name in sorted(by_host):
+            leases, busy = by_host[name]
+            print(f"  {name:<{width}} : {leases:5d} lease(s), "
+                  f"{busy:8.2f} s busy")
+    return 0
+
+
 def _cmd_services(args) -> int:
     print(f"{'svc':4} {'protocol':8} {'seg s':>5} {'audio':>5} "
           f"{'#TCP':>4} {'persist':>7} {'startup':>9} {'pause/resume':>13}")
@@ -617,6 +771,8 @@ _COMMANDS = {
     "resilience": _cmd_resilience,
     "fleet": _cmd_fleet,
     "cache": _cmd_cache,
+    "worker": _cmd_worker,
+    "sweep": _cmd_sweep,
     "services": _cmd_services,
     "profiles": _cmd_profiles,
 }

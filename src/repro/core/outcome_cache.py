@@ -270,6 +270,96 @@ class OutcomeCache:
     def _entry_path(self, key: str) -> Path:
         return self.root / self.fingerprint / f"{key}.pkl"
 
+    # -- entry framing -----------------------------------------------------
+    #
+    # The serialized entry is itself the content-addressed payload unit:
+    # what put() writes to disk, encode_entry() hands to the distributed
+    # worker for the wire, and put_bytes() stores verbatim on the
+    # coordinator side — one framing, validated identically everywhere.
+
+    def encode_entry(
+        self,
+        spec: "RunSpec",
+        outcome: "RunOutcome",
+        *,
+        key: str,
+    ) -> bytes:
+        """Serialize an outcome's comparable payload as entry bytes.
+
+        The exact bytes :meth:`put` would write under ``key``: the
+        distributed worker ships these over its transport and the
+        coordinator stores them with :meth:`put_bytes` without a
+        re-pickle round trip.
+        """
+        from repro.core.fleet import FleetOutcome
+
+        entry = {
+            "schema": SCHEMA_VERSION,
+            "code": self.fingerprint,
+            "key": key,
+        }
+        if isinstance(outcome, FleetOutcome):
+            entry["fleet"] = replace(outcome, results=None)
+        else:
+            entry.update(
+                record=outcome.record,
+                tick_stats=outcome.tick_stats,
+                metrics=outcome.metrics,
+                trace=outcome.trace,
+            )
+        return pickle.dumps(entry, protocol=pickle.HIGHEST_PROTOCOL)
+
+    def decode_bytes(
+        self, raw: bytes, spec: "RunSpec", *, key: str
+    ) -> "RunOutcome":
+        """Rebuild the outcome entry bytes stand for (checked).
+
+        Raises on any mismatch — wrong schema, foreign code
+        fingerprint, address drift, truncated pickle — so a transport
+        can treat a bad payload as a failed lease instead of silently
+        accepting a wrong result.
+        """
+        return self._decode_entry(pickle.loads(raw), spec, key)
+
+    def _decode_entry(self, entry: dict, spec: "RunSpec", key: str):
+        from repro.core.run import RunOutcome
+
+        if (
+            entry["schema"] != SCHEMA_VERSION
+            or entry["code"] != self.fingerprint
+            or entry["key"] != key
+        ):
+            raise ValueError("entry does not match its address")
+        if "fleet" in entry:
+            # A FleetOutcome is picklable once its live results are
+            # stripped; rebind the caller's spec so lazily-defaulted
+            # fields compare the way they were asked for.
+            return replace(entry["fleet"], spec=spec)
+        return RunOutcome(
+            spec=spec,
+            record=entry["record"],
+            tick_stats=entry["tick_stats"],
+            metrics=entry["metrics"],
+            trace=entry["trace"],
+        )
+
+    def _publish(self, key: str, data: bytes) -> None:
+        """Atomically write entry bytes: readers never see a partial."""
+        path = self._entry_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(data)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self._registry.counter("outcome_cache.puts").inc()
+
     # -- read / write ------------------------------------------------------
 
     def get(
@@ -283,8 +373,6 @@ class OutcomeCache:
         address (the sweep journal passes :func:`lease_key` so even
         side-effecting specs round-trip).
         """
-        from repro.core.run import RunOutcome
-
         if key is None:
             try:
                 key = spec_key(spec)
@@ -295,25 +383,7 @@ class OutcomeCache:
         try:
             with open(path, "rb") as handle:
                 entry = pickle.load(handle)
-            if (
-                entry["schema"] != SCHEMA_VERSION
-                or entry["code"] != self.fingerprint
-                or entry["key"] != key
-            ):
-                raise ValueError("entry does not match its address")
-            if "fleet" in entry:
-                # A FleetOutcome is picklable once its live results are
-                # stripped; rebind the caller's spec so lazily-defaulted
-                # fields compare the way they were asked for.
-                outcome = replace(entry["fleet"], spec=spec)
-            else:
-                outcome = RunOutcome(
-                    spec=spec,
-                    record=entry["record"],
-                    tick_stats=entry["tick_stats"],
-                    metrics=entry["metrics"],
-                    trace=entry["trace"],
-                )
+            outcome = self._decode_entry(entry, spec, key)
         except FileNotFoundError:
             self._miss()
             return None
@@ -344,38 +414,17 @@ class OutcomeCache:
                 key = spec_key(spec)
             except UncacheableSpec:
                 return False
-        from repro.core.fleet import FleetOutcome
-
-        path = self._entry_path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        entry = {
-            "schema": SCHEMA_VERSION,
-            "code": self.fingerprint,
-            "key": key,
-        }
-        if isinstance(outcome, FleetOutcome):
-            entry["fleet"] = replace(outcome, results=None)
-        else:
-            entry.update(
-                record=outcome.record,
-                tick_stats=outcome.tick_stats,
-                metrics=outcome.metrics,
-                trace=outcome.trace,
-            )
-        # Atomic publish: concurrent readers never see a partial write.
-        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "wb") as handle:
-                pickle.dump(entry, handle, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
-        self._registry.counter("outcome_cache.puts").inc()
+        self._publish(key, self.encode_entry(spec, outcome, key=key))
         return True
+
+    def put_bytes(self, key: str, data: bytes) -> None:
+        """Store pre-encoded entry bytes verbatim under their address.
+
+        The caller vouches for ``data`` (normally by having run it
+        through :meth:`decode_bytes` first); the read path re-validates
+        on every :meth:`get` regardless.
+        """
+        self._publish(key, data)
 
     def _miss(self) -> None:
         self.misses += 1

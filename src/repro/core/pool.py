@@ -198,6 +198,29 @@ class WorkerPool:
         self._executor.shutdown(wait=True, cancel_futures=True)
 
 
+def record_worker_utilization(
+    pid: int, busy_s: float, *, host: Optional[str] = None
+) -> None:
+    """Publish one completed lease against its executing worker.
+
+    Per-worker utilization lands in the process registry as
+    ``pool.worker.tasks`` (a counter per worker pid) and
+    ``pool.worker.busy_s`` (accumulated wall-clock seconds the worker
+    spent owning leases — measured lease start to delivery, so pooled
+    runs include queue residency).  With ``host`` set (the distributed
+    coordinator's per-remote view) the same pair is also recorded under
+    ``dispatch.host.leases`` / ``dispatch.host.busy_s`` keyed by host
+    label.  ``repro sweep status`` renders the journal-derived
+    equivalent for sweeps that ran in other processes.
+    """
+    registry = process_registry()
+    registry.counter("pool.worker.tasks", pid=pid).inc()
+    registry.gauge("pool.worker.busy_s", pid=pid).add(busy_s)
+    if host is not None:
+        registry.counter("dispatch.host.leases", host=host).inc()
+        registry.gauge("dispatch.host.busy_s", host=host).add(busy_s)
+
+
 _POOL_LOCK = threading.Lock()
 _ACTIVE_POOL: Optional[WorkerPool] = None
 

@@ -235,6 +235,7 @@ def execute(
     cache: CacheSpec = None,
     policy: Optional[SweepPolicy] = None,
     journal: JournalSpec = None,
+    hosts: Optional[Sequence[str]] = None,
 ) -> list[Union[RunOutcome, FleetOutcome, FailedOutcome]]:
     """Execute a batch of specs, serially or over worker processes.
 
@@ -263,6 +264,14 @@ def execute(
     :class:`~repro.core.supervisor.SweepJournal`; leases the journal
     marks complete are skipped — even uncacheable ones — so a killed
     sweep picks up where it stopped.
+
+    ``hosts`` shards the sweep across worker daemons
+    (:mod:`repro.core.distributed`): each entry is ``HOST:PORT`` for a
+    ``repro worker --listen`` daemon or ``spool:PATH`` for a shared
+    filesystem spool.  ``workers`` then sizes the *local fallback* pool
+    used when no host is reachable.  Outcomes still compare ``==`` to a
+    ``workers=0`` in-process run — distribution changes where a lease
+    executes, never what it produces.
     """
     if workers < 0:
         raise ValueError(f"workers must be >= 0, got {workers}")
@@ -270,6 +279,11 @@ def execute(
         raise ValueError(
             "keep_results needs workers=0: live session graphs hold "
             "unpicklable objects and cannot cross process boundaries"
+        )
+    if keep_results and hosts:
+        raise ValueError(
+            "keep_results needs hosts=None: live session graphs hold "
+            "unpicklable objects and cannot cross host boundaries"
         )
     store = resolve_outcome_cache(cache)
     if store is not None and keep_results:
@@ -292,7 +306,24 @@ def execute(
         for index in pending:
             outcomes[index] = store.get(specs[index])
         pending = [index for index in pending if outcomes[index] is None]
-    if not supervised and (workers == 0 or len(pending) <= 1):
+    if hosts and pending:
+        # Distributed path: shard the pending leases over worker
+        # daemons; journal resume, cache putback and the determinism
+        # contract are unchanged.  Lazy import — distributed.py needs
+        # _plan_chunks from this module.
+        from repro.core.distributed import execute_distributed
+
+        dispatched = execute_distributed(
+            [specs[i] for i in pending],
+            hosts,
+            policy=policy,
+            journal=resolve_sweep_journal(journal, specs),
+            local_workers=workers,
+            profile=profile,
+        )
+        for local_index, outcome in enumerate(dispatched):
+            outcomes[pending[local_index]] = outcome
+    elif not supervised and (workers == 0 or len(pending) <= 1):
         # The byte-identity oracle path: plain in-process loop.
         for index in pending:
             outcomes[index] = run_one(

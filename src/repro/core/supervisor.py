@@ -57,6 +57,7 @@ import os
 import random
 import time
 from collections import deque
+from contextlib import contextmanager
 from concurrent.futures import FIRST_COMPLETED, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
@@ -172,17 +173,42 @@ class SweepJournal:
     sink, whose side effect already happened in the journaled run).
 
     Crash safety: payloads are stored *before* their journal line, each
-    line is flushed and fsynced, and a torn final line (the writer was
-    SIGKILL'd mid-append) is silently dropped on load — the worst case
-    is one lease re-run, never a wrong result.
+    line lands in one unbuffered ``O_APPEND`` write and is fsynced, and
+    a torn final line (the writer was SIGKILL'd mid-append) is silently
+    dropped on load — the worst case is a lease re-run, never a wrong
+    result.  Because every line is one append-mode write, two journal
+    instances on the same directory (the coordinator's shard-merge
+    scenario) interleave at line granularity and load as their union,
+    last writer wins per lease key.
+
+    **Group commit** (``flush_every > 1``): the journal keeps one open
+    handle and fsyncs once per ``flush_every`` records instead of
+    opening + fsyncing per line — the merge-path optimisation for a
+    coordinator streaming thousands of lease completions.  The write
+    itself still happens per record, so the torn-tail guarantee is
+    unchanged; a crash loses at most the records since the last fsync,
+    each of which simply re-runs.  :meth:`flush` forces the fsync;
+    :meth:`close` flushes and releases the handle.
+
+    Lines dropped on load because they would not decode are *counted*
+    (``skipped_lines``, plus the process-level
+    ``sweep.journal_skipped_lines`` counter) and logged once with the
+    first offending line number, so a corrupted journal is visible
+    instead of quietly shrinking a resume.
     """
 
-    def __init__(self, root: Union[str, Path]):
+    def __init__(self, root: Union[str, Path], *, flush_every: int = 1):
+        if flush_every < 1:
+            raise ValueError(f"flush_every must be >= 1, got {flush_every}")
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.path = self.root / "journal.jsonl"
         self.store = OutcomeCache(self.root / "outcomes")
+        self.flush_every = flush_every
+        self.skipped_lines = 0
         self._entries: dict[str, dict] = {}
+        self._handle = None  # lazily opened append handle (binary, unbuffered)
+        self._unsynced = 0
         self._load()
 
     def _load(self) -> None:
@@ -196,20 +222,44 @@ class SweepJournal:
             with open(self.path, "r+b") as handle:
                 handle.truncate(cut)
             raw = raw[:cut]
-        for line in raw.decode("utf-8", errors="replace").splitlines():
+        first_bad: Optional[int] = None
+        for number, line in enumerate(
+            raw.decode("utf-8", errors="replace").splitlines(), start=1
+        ):
             line = line.strip()
             if not line:
                 continue
             try:
                 entry = json.loads(line)
+                key = entry.get("spec_sha") if isinstance(entry, dict) else None
             except json.JSONDecodeError:
-                continue  # foreign garbage; harmless, skip
-            key = entry.get("spec_sha")
-            if key:
-                self._entries[key] = entry
+                key = None
+            if not key:
+                # Mid-file garbage: a foreign writer, filesystem damage,
+                # or a line from an incompatible schema.  Dropping it is
+                # still the right recovery, but silently shrinking a
+                # resume is not — count and warn.
+                self.skipped_lines += 1
+                if first_bad is None:
+                    first_bad = number
+                continue
+            self._entries[key] = entry
+        if self.skipped_lines:
+            process_registry().counter("sweep.journal_skipped_lines").inc(
+                self.skipped_lines
+            )
+            log.warning(
+                "sweep journal %s: skipped %d undecodable line(s) "
+                "(first at line %d); the leases they described will re-run",
+                self.path, self.skipped_lines, first_bad,
+            )
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    def entries(self) -> dict[str, dict]:
+        """The loaded lease entries, keyed by spec SHA (a copy)."""
+        return dict(self._entries)
 
     def completed(self, key: str) -> Optional[dict]:
         """The terminal journal entry for a lease key, if any."""
@@ -227,8 +277,15 @@ class SweepJournal:
         duration_s: float,
         kind: Optional[str] = None,
         message: Optional[str] = None,
+        host: Optional[str] = None,
+        pid: Optional[int] = None,
     ) -> None:
-        """Append one lease-state line, durably."""
+        """Append one lease-state line, durably.
+
+        ``host`` / ``pid`` record *where* the lease executed (a remote
+        worker host label, a pool worker pid) — pure telemetry for
+        ``repro sweep status``, never part of resume decisions.
+        """
         entry: dict = {
             "spec_sha": key,
             "status": status,
@@ -240,11 +297,59 @@ class SweepJournal:
             entry["kind"] = kind
         if message:
             entry["message"] = message
-        with open(self.path, "a", encoding="utf-8") as handle:
-            handle.write(json.dumps(entry, sort_keys=True) + "\n")
-            handle.flush()
-            os.fsync(handle.fileno())
+        if host:
+            entry["host"] = host
+        if pid is not None:
+            entry["pid"] = pid
+        data = (json.dumps(entry, sort_keys=True) + "\n").encode("utf-8")
+        if self.flush_every <= 1:
+            # Classic path: open, append, fsync, close — one durable
+            # line per call, no state held between calls.
+            with open(self.path, "ab", buffering=0) as handle:
+                handle.write(data)
+                os.fsync(handle.fileno())
+        else:
+            # Group commit: one held unbuffered O_APPEND handle — each
+            # line is still a single contiguous write (so concurrent
+            # writers interleave at line granularity and a kill tears at
+            # most the final line), but the fsync is amortised.
+            if self._handle is None:
+                self._handle = open(self.path, "ab", buffering=0)
+            self._handle.write(data)
+            self._unsynced += 1
+            if self._unsynced >= self.flush_every:
+                self.flush()
         self._entries[key] = entry
+
+    def flush(self) -> None:
+        """Force buffered group-commit records down to disk."""
+        if self._handle is not None and self._unsynced:
+            os.fsync(self._handle.fileno())
+        self._unsynced = 0
+
+    def close(self) -> None:
+        """Flush and release the group-commit handle (idempotent)."""
+        self.flush()
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    @contextmanager
+    def batched(self, flush_every: int = 64):
+        """Temporarily switch to group-commit mode, e.g.::
+
+            with journal.batched(64):
+                ... thousands of record() calls, fsync every 64 ...
+
+        On exit the journal flushes and returns to its previous mode.
+        """
+        previous = self.flush_every
+        self.flush_every = max(1, flush_every)
+        try:
+            yield self
+        finally:
+            self.flush_every = previous
+            self.close()
 
     def store_outcome(self, key: str, outcome) -> None:
         self.store.put(outcome.spec, outcome, key=key)
@@ -252,6 +357,56 @@ class SweepJournal:
     def load_outcome(self, spec: "RunSpec", key: str):
         """The stored payload for a done lease, or ``None`` (re-run)."""
         return self.store.get(spec, key=key)
+
+
+def restore_from_journal(
+    journal: Optional[SweepJournal], spec: "RunSpec", key: Optional[str]
+):
+    """Rebuild the outcome a journal marks terminal, or ``None`` (re-run).
+
+    The resume primitive shared by :class:`SweepSupervisor` and the
+    distributed coordinator: a ``done`` entry restores its stored
+    payload (which must load under the current code fingerprint), a
+    ``quarantined`` entry restores a typed :class:`FailedOutcome` only
+    when recorded under the same code — a fixed simulator deserves a
+    fresh try at the poison spec.
+    """
+    if journal is None or key is None:
+        return None
+    entry = journal.completed(key)
+    if entry is None:
+        return None
+    if entry["status"] == "done":
+        return journal.load_outcome(spec, key)
+    if entry["status"] == "quarantined":
+        if entry.get("code") != code_fingerprint():
+            return None
+        return FailedOutcome(
+            spec=spec,
+            kind=entry.get("kind", "error"),
+            attempts=int(entry.get("attempt", 1)),
+            message=entry.get("message", ""),
+        )
+    return None
+
+
+@dataclass(frozen=True)
+class LeaseResult:
+    """One terminal lease, as streamed to an ``on_terminal`` observer.
+
+    The distributed worker (:mod:`repro.core.distributed`) forwards
+    these over its transport as they land, so a coordinator can journal
+    and merge progress without waiting for the whole shard.
+    """
+
+    index: int  # position in the supervised spec sequence
+    key: Optional[str]
+    status: str  # "done" | "quarantined"
+    outcome: object  # RunOutcome | FleetOutcome | FailedOutcome | raw payload
+    attempts: int
+    duration_s: float
+    kind: Optional[str] = None
+    message: Optional[str] = None
 
 
 def sweep_key(specs: Sequence["RunSpec"]) -> str:
@@ -333,6 +488,7 @@ class SweepSupervisor:
         task: Callable = _lease_task,
         clock: Callable[[], float] = time.monotonic,
         sleep: Callable[[float], None] = time.sleep,
+        on_terminal: Optional[Callable[[LeaseResult], None]] = None,
     ):
         self.workers = workers
         self.policy = policy if policy is not None else SweepPolicy()
@@ -340,6 +496,11 @@ class SweepSupervisor:
         self.task = task
         self.clock = clock
         self.sleep = sleep
+        #: Streaming observer: called once per lease as it turns
+        #: terminal (success or quarantine), in completion order.  The
+        #: distributed worker uses this to push results over its
+        #: transport while the rest of the shard is still running.
+        self.on_terminal = on_terminal
         self.stats = SweepStats()
         #: (pid, misses, hits) asset-cache reports from worker leases.
         self.encode_reports: list[tuple[int, int, int]] = []
@@ -375,10 +536,13 @@ class SweepSupervisor:
     def _record_success(
         self, lease: _Lease, payload, outcomes: list, duration_s: float
     ) -> None:
+        from repro.core.pool import record_worker_utilization
+
         outcome, pid, misses, hits = payload
         outcomes[lease.index] = outcome
         if pid != os.getpid():
             self.encode_reports.append((pid, misses, hits))
+        record_worker_utilization(pid, duration_s)
         if self.journal is not None and lease.key is not None:
             from repro.core.fleet import FleetOutcome
             from repro.core.run import RunOutcome
@@ -390,7 +554,17 @@ class SweepSupervisor:
                 "done",
                 attempt=lease.attempts + 1,
                 duration_s=duration_s,
+                pid=pid,
             )
+        if self.on_terminal is not None:
+            self.on_terminal(LeaseResult(
+                index=lease.index,
+                key=lease.key,
+                status="done",
+                outcome=outcome,
+                attempts=lease.attempts + 1,
+                duration_s=duration_s,
+            ))
 
     def _quarantine(
         self,
@@ -418,6 +592,17 @@ class SweepSupervisor:
                 kind=kind,
                 message=message,
             )
+        if self.on_terminal is not None:
+            self.on_terminal(LeaseResult(
+                index=lease.index,
+                key=lease.key,
+                status="quarantined",
+                outcome=outcomes[lease.index],
+                attempts=attempts,
+                duration_s=0.0,
+                kind=kind,
+                message=message,
+            ))
 
     def _handle_failure(
         self,
@@ -448,25 +633,6 @@ class SweepSupervisor:
             )
         retry(lease, self._backoff_delay(lease))
 
-    # -- resume ------------------------------------------------------------
-
-    def _restore(self, lease: _Lease, entry: dict):
-        """Rebuild the outcome a journal entry stands for, or ``None``."""
-        if entry["status"] == "done":
-            return self.journal.load_outcome(lease.spec, lease.key)
-        if entry["status"] == "quarantined":
-            # Honour old quarantines only under the same code: a fixed
-            # simulator deserves a fresh try at the poison spec.
-            if entry.get("code") != code_fingerprint():
-                return None
-            return FailedOutcome(
-                spec=lease.spec,
-                kind=entry.get("kind", "error"),
-                attempts=int(entry.get("attempt", 1)),
-                message=entry.get("message", ""),
-            )
-        return None
-
     # -- entry point -------------------------------------------------------
 
     def run(
@@ -489,17 +655,13 @@ class SweepSupervisor:
         ]
         pending: list[_Lease] = []
         for lease in leases:
-            entry = (
-                self.journal.completed(lease.key)
-                if self.journal is not None and lease.key is not None
-                else None
+            restored = restore_from_journal(
+                self.journal, lease.spec, lease.key
             )
-            if entry is not None:
-                restored = self._restore(lease, entry)
-                if restored is not None:
-                    outcomes[lease.index] = restored
-                    self._count("resumed_skips")
-                    continue
+            if restored is not None:
+                outcomes[lease.index] = restored
+                self._count("resumed_skips")
+                continue
             pending.append(lease)
         if not pending:
             return outcomes

@@ -252,6 +252,22 @@ SWEEP_COUNTERS = (
     "sweep.pool_respawns",
     "sweep.resumed_skips",
     "sweep.serial_degradations",
+    "sweep.journal_skipped_lines",
+)
+
+#: The distributed-dispatch counters (:mod:`repro.core.distributed`)
+#: that land in the process registry.  Like the sweep counters these
+#: are process history — which hosts ran what is never part of the
+#: ``workers=0 == hosts=[...]`` outcome equivalence — and the CLI
+#: differences them around a sweep for its dispatch summary line.
+DISPATCH_COUNTERS = (
+    "dispatch.shards",
+    "dispatch.leases_sent",
+    "dispatch.leases_completed",
+    "dispatch.worker_deaths",
+    "dispatch.redispatched_leases",
+    "dispatch.hosts_unreachable",
+    "dispatch.local_fallback_leases",
 )
 
 _PROCESS_REGISTRY = MetricsRegistry()

@@ -436,3 +436,140 @@ def test_resume_from_any_kill_point_is_identical(
     assert all(
         healed.completed(lease_key(spec)) is not None for spec in _specs()
     )
+
+
+# ---------------------------------------------------------------------------
+# Journal concurrency, group commit, and corrupted-line accounting
+# ---------------------------------------------------------------------------
+
+
+def _status_key(entry):
+    return (entry["status"], entry["attempt"])
+
+
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(
+    schedule=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=1),  # which writer
+            st.integers(min_value=0, max_value=4),  # which lease key
+            st.sampled_from(["done", "quarantined"]),
+        ),
+        min_size=1,
+        max_size=24,
+    ),
+    batched_writer=st.integers(min_value=0, max_value=2),
+)
+def test_interleaved_journals_load_as_union_last_writer_wins(
+    tmp_path_factory, schedule, batched_writer
+):
+    """Two journal instances on one directory — the coordinator's
+    shard-merge scenario — interleave at line granularity: a reload
+    sees the union of both writers' records, last writer winning per
+    lease key.  Holds with either writer (or neither) in group-commit
+    mode: batching defers the fsync, not the append."""
+    root = tmp_path_factory.mktemp("interleave")
+    writers = [SweepJournal(root), SweepJournal(root)]
+    if batched_writer < 2:
+        writers[batched_writer].flush_every = 8
+    expected: dict = {}
+    for attempt, (writer, key_index, status) in enumerate(schedule, start=1):
+        key = f"{key_index:064d}"
+        writers[writer].record(
+            key, status, attempt=attempt, duration_s=0.0
+        )
+        expected[key] = (status, attempt)
+    for journal in writers:
+        journal.close()
+    reloaded = SweepJournal(root)
+    assert reloaded.skipped_lines == 0
+    loaded = {
+        key: _status_key(entry)
+        for key, entry in reloaded.entries().items()
+    }
+    assert loaded == expected
+
+
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(
+    records=st.integers(min_value=1, max_value=20),
+    torn_bytes=st.integers(min_value=1, max_value=30),
+)
+def test_batched_journal_survives_torn_tail_kill(
+    tmp_path_factory, records, torn_bytes
+):
+    """Group-commit mode keeps the torn-tail guarantee: append N
+    records without closing (the kill), glue a half-written line on the
+    end, and a reload recovers every whole line and drops the tear."""
+    root = tmp_path_factory.mktemp("batched-torn")
+    journal = SweepJournal(root, flush_every=64)
+    for index in range(records):
+        journal.record(
+            f"{index:064d}", "done", attempt=1, duration_s=0.0
+        )
+    # No close(): the writer is "killed" with the batch unsynced.  The
+    # bytes are already appended (fsync is durability-against-power-
+    # loss, not visibility), so a reader recovers all whole lines.
+    partial = json.dumps(
+        {"spec_sha": "x" * 64, "status": "done", "attempt": 1}
+    )[:torn_bytes]
+    with open(journal.path, "ab") as handle:
+        handle.write(partial.encode())
+    reloaded = SweepJournal(root)
+    assert len(reloaded) == records
+    assert reloaded.skipped_lines == 0
+    journal.close()
+
+
+def test_journal_counts_and_reports_skipped_lines(tmp_path, caplog):
+    import logging
+
+    journal = SweepJournal(tmp_path)
+    journal.record("a" * 64, "done", attempt=1, duration_s=0.1)
+    with open(journal.path, "a") as handle:
+        handle.write("not json at all\n")
+        handle.write('{"valid_json": "but no spec_sha"}\n')
+        handle.write(json.dumps(
+            {"spec_sha": "b" * 64, "status": "done", "attempt": 1,
+             "duration": 0.1, "code": code_fingerprint()}
+        ) + "\n")
+    from repro.obs.metrics import process_registry
+
+    before = process_registry().counter(
+        "sweep.journal_skipped_lines"
+    ).value
+    with caplog.at_level(logging.WARNING, logger="repro.sweep"):
+        reloaded = SweepJournal(tmp_path)
+    assert reloaded.skipped_lines == 2
+    assert len(reloaded) == 2  # both good lines survived the garbage
+    after = process_registry().counter(
+        "sweep.journal_skipped_lines"
+    ).value
+    assert after - before == 2
+    assert any(
+        "skipped 2 undecodable line(s)" in record.message
+        and "line 2" in record.message
+        for record in caplog.records
+    )
+
+
+def test_batched_mode_validates_and_restores(tmp_path):
+    with pytest.raises(ValueError, match="flush_every"):
+        SweepJournal(tmp_path / "bad", flush_every=0)
+    journal = SweepJournal(tmp_path)
+    assert journal.flush_every == 1
+    with journal.batched(16) as same:
+        assert same is journal
+        assert journal.flush_every == 16
+        journal.record("c" * 64, "done", attempt=1, duration_s=0.0)
+    assert journal.flush_every == 1
+    assert journal._handle is None  # handle released on exit
+    assert SweepJournal(tmp_path).completed("c" * 64) is not None
